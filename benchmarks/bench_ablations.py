@@ -1,0 +1,59 @@
+"""Ablations over CLIC's design parameters (window W, decay r, outqueue, metadata charge)."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.ablations import (
+    run_decay_ablation,
+    run_metadata_charge_ablation,
+    run_outqueue_ablation,
+    run_window_ablation,
+)
+
+
+def test_ablation_window_size(benchmark):
+    sweep = benchmark.pedantic(
+        run_window_ablation,
+        kwargs={"trace_name": "DB2_C300", "cache_size": 3_600, "settings": BENCH_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Ablation: CLIC hit ratio vs. statistics window W (DB2_C300)", sweep)
+    assert all(0.0 <= ratio <= 1.0 for ratio in sweep.hit_ratios("DB2_C300"))
+
+
+def test_ablation_decay(benchmark):
+    sweep = benchmark.pedantic(
+        run_decay_ablation,
+        kwargs={"trace_name": "DB2_C300", "cache_size": 3_600, "settings": BENCH_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Ablation: CLIC hit ratio vs. smoothing weight r (DB2_C300)", sweep)
+    assert len(sweep.series["DB2_C300"]) == 4
+
+
+def test_ablation_outqueue(benchmark):
+    sweep = benchmark.pedantic(
+        run_outqueue_ablation,
+        kwargs={"trace_name": "DB2_C300", "cache_size": 3_600, "settings": BENCH_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Ablation: CLIC hit ratio vs. outqueue factor Noutq (DB2_C300)", sweep)
+    ratios = dict(zip(sweep.xs("DB2_C300"), sweep.hit_ratios("DB2_C300")))
+    # The outqueue is what lets CLIC see re-references of uncached pages; some
+    # outqueue should never be (much) worse than none at all.
+    assert ratios[5.0] >= ratios[0.0] - 0.05
+
+
+def test_ablation_metadata_charge(benchmark):
+    sweep = benchmark.pedantic(
+        run_metadata_charge_ablation,
+        kwargs={"trace_name": "DB2_C300", "cache_size": 3_600, "settings": BENCH_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Ablation: cost of charging CLIC's metadata against the cache (DB2_C300)", sweep)
+    uncharged, charged = sweep.hit_ratios("DB2_C300")
+    assert charged >= uncharged - 0.1

@@ -1,0 +1,42 @@
+"""Shared settings and helpers for the per-figure benchmark harness.
+
+Each ``bench_fig*.py`` file regenerates one table or figure of the paper.
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the benches print the regenerated rows/series (the same
+numbers recorded in ``EXPERIMENTS.md``).  Benchmark timings measure the cost
+of regenerating the artifact end-to-end (trace generation + simulation).
+
+``BENCH_SETTINGS`` controls fidelity: the default trace length keeps a full
+``pytest benchmarks/`` run in the tens-of-minutes range; raise
+``REPRO_BENCH_REQUESTS`` (environment variable) for closer-to-paper curves.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import ExperimentSettings
+
+__all__ = ["BENCH_SETTINGS", "print_sweep", "print_rows"]
+
+_DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "60000"))
+_DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "17"))
+
+BENCH_SETTINGS = ExperimentSettings(target_requests=_DEFAULT_REQUESTS, seed=_DEFAULT_SEED)
+
+
+def print_sweep(title: str, sweep) -> None:
+    """Print one figure's series as a text table."""
+    print(f"\n=== {title} ===")
+    print(sweep.to_table())
+
+
+def print_rows(title: str, rows, columns=None) -> None:
+    """Print tabular experiment output."""
+    from repro.analysis.reporting import rows_to_table
+
+    print(f"\n=== {title} ===")
+    print(rows_to_table(rows, columns))

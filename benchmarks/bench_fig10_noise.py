@@ -1,0 +1,29 @@
+"""Figure 10 — effect of injected noise hint types on CLIC (k fixed at 100)."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.noise import run_noise_experiment
+
+
+def test_fig10_noise_hint_types(benchmark):
+    sweep = benchmark.pedantic(
+        run_noise_experiment,
+        kwargs={
+            "trace_names": ("DB2_C60", "DB2_C300", "DB2_C540"),
+            "noise_levels": (0, 1, 2, 3),
+            "cache_size": 3_600,
+            "top_k": 100,
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Figure 10: CLIC read hit ratio vs. injected noise hint types T", sweep)
+
+    # Noise dilutes the informative hint sets, so it should never help much,
+    # and the degradation grows with T (the paper sees mild degradation for
+    # the high-locality trace and substantial degradation for the others).
+    for name in ("DB2_C60", "DB2_C300"):
+        ratios = dict(zip(sweep.xs(name), sweep.hit_ratios(name)))
+        assert ratios[3.0] <= ratios[0.0] + 0.05

@@ -1,0 +1,16 @@
+"""Figure 2 — hint types and their value-domain cardinalities."""
+
+from __future__ import annotations
+
+from bench_common import print_rows
+from repro.experiments.schemas_table import run_hint_schema_table
+
+
+def test_fig2_hint_schemas(benchmark):
+    rows = benchmark(run_hint_schema_table)
+    print_rows(
+        "Figure 2: hint types of the DB2-like and MySQL-like clients",
+        rows,
+        columns=["dbms", "hint_type", "cardinality_tpcc", "cardinality_tpch", "description"],
+    )
+    assert len(rows) == 9

@@ -1,0 +1,27 @@
+"""Figure 5 — summary table of the standard (scaled) I/O request traces."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_rows
+from repro.experiments.traces_table import run_trace_table
+
+
+def test_fig5_trace_table(benchmark):
+    rows = benchmark.pedantic(
+        run_trace_table,
+        kwargs={"settings": BENCH_SETTINGS},
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 5: standard traces (scaled 1/50 from the paper's configurations)",
+        rows,
+        columns=[
+            "trace", "dbms", "workload", "db_size_pages", "dbms_buffer_pages",
+            "requests", "distinct_hint_sets", "distinct_pages",
+        ],
+    )
+    assert len(rows) == 8
+    for row in rows:
+        assert row["distinct_hint_sets"] > 0
+        assert row["distinct_pages"] > 0

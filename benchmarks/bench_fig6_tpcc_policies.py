@@ -1,0 +1,28 @@
+"""Figure 6 — read hit ratio vs. server cache size for the DB2 TPC-C traces."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.policies import FIGURE6_TRACES, run_figure6
+
+
+def test_fig6_db2_tpcc_policy_comparison(benchmark):
+    results = benchmark.pedantic(
+        run_figure6, kwargs={"settings": BENCH_SETTINGS}, rounds=1, iterations=1
+    )
+    for name in FIGURE6_TRACES:
+        print_sweep(f"Figure 6 ({name}): read hit ratio vs. server cache size", results[name])
+
+    # Expected shape (paper Section 6.1): OPT upper-bounds everything, and on
+    # the low-locality traces the hint-aware policies beat the hint-oblivious
+    # ones by a wide margin.
+    for name in FIGURE6_TRACES:
+        sweep = results[name]
+        for index in range(len(sweep.xs("OPT"))):
+            opt = sweep.hit_ratios("OPT")[index]
+            for label in ("LRU", "ARC", "TQ", "CLIC"):
+                assert opt >= sweep.hit_ratios(label)[index] - 1e-9
+    low_locality = results["DB2_C300"]
+    middle = len(low_locality.xs("CLIC")) // 2
+    assert low_locality.hit_ratios("CLIC")[middle] > low_locality.hit_ratios("LRU")[middle]
+    assert low_locality.hit_ratios("TQ")[middle] > low_locality.hit_ratios("LRU")[middle]

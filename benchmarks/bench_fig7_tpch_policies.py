@@ -1,0 +1,27 @@
+"""Figure 7 — read hit ratio vs. server cache size for the DB2 TPC-H traces."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.policies import FIGURE7_TRACES, run_figure7
+
+
+def test_fig7_db2_tpch_policy_comparison(benchmark):
+    results = benchmark.pedantic(
+        run_figure7, kwargs={"settings": BENCH_SETTINGS}, rounds=1, iterations=1
+    )
+    for name in FIGURE7_TRACES:
+        print_sweep(f"Figure 7 ({name}): read hit ratio vs. server cache size", results[name])
+
+    for name in FIGURE7_TRACES:
+        sweep = results[name]
+        for index in range(len(sweep.xs("OPT"))):
+            opt = sweep.hit_ratios("OPT")[index]
+            for label in ("LRU", "ARC", "TQ", "CLIC"):
+                assert opt >= sweep.hit_ratios(label)[index] - 1e-9
+    # The small-first-tier-buffer trace is where hints pay off most clearly:
+    # CLIC should comfortably beat plain LRU there (paper: more than 2x the
+    # best hint-oblivious policy on several TPC-H configurations).
+    h80 = results["DB2_H80"]
+    middle = len(h80.xs("CLIC")) // 2
+    assert h80.hit_ratios("CLIC")[middle] > h80.hit_ratios("LRU")[middle]

@@ -1,0 +1,25 @@
+"""Figure 8 — read hit ratio vs. server cache size for the MySQL TPC-H traces."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.policies import FIGURE8_TRACES, run_figure8
+
+
+def test_fig8_mysql_policy_comparison(benchmark):
+    results = benchmark.pedantic(
+        run_figure8, kwargs={"settings": BENCH_SETTINGS}, rounds=1, iterations=1
+    )
+    for name in FIGURE8_TRACES:
+        print_sweep(f"Figure 8 ({name}): read hit ratio vs. server cache size", results[name])
+
+    for name in FIGURE8_TRACES:
+        sweep = results[name]
+        for index in range(len(sweep.xs("OPT"))):
+            opt = sweep.hit_ratios("OPT")[index]
+            for label in ("LRU", "ARC", "TQ", "CLIC"):
+                assert opt >= sweep.hit_ratios(label)[index] - 1e-9
+        # CLIC exploits the MySQL hints (file id / request type), so it should
+        # beat plain LRU on these traces.
+        middle = len(sweep.xs("CLIC")) // 2
+        assert sweep.hit_ratios("CLIC")[middle] > sweep.hit_ratios("LRU")[middle]

@@ -1,0 +1,28 @@
+"""Figure 9 — effect of top-k hint-set filtering on CLIC's read hit ratio."""
+
+from __future__ import annotations
+
+from bench_common import BENCH_SETTINGS, print_sweep
+from repro.experiments.topk import run_topk_experiment
+
+
+def test_fig9_topk_filtering(benchmark):
+    sweep = benchmark.pedantic(
+        run_topk_experiment,
+        kwargs={
+            "trace_names": ("DB2_C60", "DB2_C300", "DB2_C540"),
+            "cache_size": 3_600,                    # the paper's 180K pages, scaled
+            "k_values": (1, 2, 5, 10, 20, 50, 100, None),
+            "settings": BENCH_SETTINGS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_sweep("Figure 9: CLIC read hit ratio vs. number of tracked hint sets k", sweep)
+
+    # Paper finding: k=20 recovers (nearly) the track-everything hit ratio.
+    for name in ("DB2_C60", "DB2_C300"):
+        points = {point.x: point.read_hit_ratio for point in sweep.series[name]}
+        full = points[max(points)]
+        k20 = points[20.0]
+        assert k20 >= full - 0.08

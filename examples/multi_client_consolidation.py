@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Consolidating several database clients onto one CLIC-managed server cache.
+
+This is the paper's Section 6.4 scenario (Figure 11): three independent DB2
+instances — each running TPC-C with a different first-tier buffer size —
+share one storage server.  Their requests are interleaved round-robin, and
+the server cache is either
+
+* one shared cache managed by CLIC, or
+* statically partitioned into equal private caches, one per client.
+
+CLIC automatically discovers which client's requests are the best caching
+opportunities (the client with the smallest first-tier buffer leaves the most
+locality) and concentrates the shared cache on it, beating the static split
+on overall hit ratio.
+
+Run it with::
+
+    python examples/multi_client_consolidation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSettings, run_multiclient_experiment
+
+
+def main() -> None:
+    settings = ExperimentSettings(target_requests=30_000, seed=17)
+    print("Generating three DB2 TPC-C clients (different first-tier buffer sizes)...")
+    result = run_multiclient_experiment(
+        trace_names=("DB2_C60", "DB2_C300", "DB2_C540"),
+        shared_cache_size=3_600,
+        settings=settings,
+    )
+
+    print(f"\nShared {result.shared_cache_size}-page cache vs. "
+          f"private caches of {result.private_cache_sizes} pages:\n")
+    print(f"  {'client trace':<12} {'shared':>9} {'private':>9}")
+    for row in result.as_rows():
+        print(f"  {row['trace']:<12} {row['shared_hit_ratio']:>8.1%} {row['private_hit_ratio']:>8.1%}")
+
+    print(
+        "\nThe shared cache gives almost all of its space to the DB2_C60"
+        " client (the one with real temporal locality left in its request"
+        " stream), which is exactly the behaviour the paper reports in"
+        " Figure 11 — at the cost of the other clients, whose requests are"
+        " poor caching opportunities anyway."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""How many hints are too many?  Stress-testing CLIC with useless hint types.
+
+Clients cannot always know which of their hints are useful to the storage
+server.  The paper's Section 6.3 experiment injects ``T`` synthetic hint
+types — random values carrying no information — into a real trace while CLIC
+may only track ``k = 100`` hint sets, and watches the hit ratio degrade as
+the informative hint sets get diluted.
+
+This example reproduces that experiment on the scaled DB2 TPC-C trace and
+also shows the top-k mitigation from Section 5 in isolation: how few hint
+sets CLIC actually needs to track to match full tracking.
+
+Run it with::
+
+    python examples/noise_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSettings, run_noise_experiment, run_topk_experiment
+
+
+def main() -> None:
+    settings = ExperimentSettings(target_requests=30_000, seed=17)
+    cache_pages = 3_600
+
+    print("Part 1 - top-k filtering (Figure 9): how many hint sets must CLIC track?")
+    topk = run_topk_experiment(
+        trace_names=("DB2_C60",),
+        cache_size=cache_pages,
+        k_values=(1, 2, 5, 10, 20, 50, None),
+        settings=settings,
+    )
+    for point in topk.series["DB2_C60"]:
+        label = "all" if point.x == max(p.x for p in topk.series["DB2_C60"]) else f"{int(point.x)}"
+        print(f"  k = {label:>4}   read hit ratio {point.read_hit_ratio:6.1%}")
+
+    print("\nPart 2 - noise hints (Figure 10): k fixed at 100, T useless hint types injected")
+    noise = run_noise_experiment(
+        trace_names=("DB2_C60", "DB2_C300"),
+        noise_levels=(0, 1, 2, 3),
+        cache_size=cache_pages,
+        top_k=100,
+        settings=settings,
+    )
+    for trace_name in noise.labels():
+        ratios = ", ".join(
+            f"T={int(point.x)}: {point.read_hit_ratio:5.1%}" for point in noise.series[trace_name]
+        )
+        print(f"  {trace_name:<9} {ratios}")
+
+    print(
+        "\nA handful of tracked hint sets already captures almost all of the"
+        " benefit, and a moderate amount of noise is tolerated — but enough"
+        " useless hint types eventually dilute the informative hint sets,"
+        " which is why the paper proposes hint-set grouping as future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` works on minimal/offline environments whose
+setuptools lacks PEP 660 editable-install support (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

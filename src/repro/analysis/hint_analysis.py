@@ -1,0 +1,123 @@
+"""Off-line hint-set analysis (the paper's Section 3 analysis and Figure 3).
+
+Given a complete trace, this module computes for every hint set ``H`` the
+exact values of ``N(H)``, ``Nr(H)`` and ``D(H)`` as defined in Section 3 —
+using the *next request to the same page* to classify each request as a read
+re-reference, a write re-reference, or never re-referenced — and from them
+the benefit/cost priority ``Pr(H)``.  The scatter of priority against
+frequency over all hint sets is exactly what the paper plots in Figure 3 for
+the DB2 TPC-C trace.
+
+Unlike the on-line statistics inside :class:`repro.core.clic.CLICPolicy`,
+this analysis sees the whole future, so it is exact rather than bounded by
+the outqueue.  It is useful for understanding what an ideal CLIC could learn
+from a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.statistics import HintSetStats, compute_priority
+from repro.simulation.request import IORequest
+
+__all__ = ["HintSetAnalysis", "analyze_hint_sets", "figure3_rows"]
+
+
+@dataclass(frozen=True)
+class HintSetAnalysis:
+    """Exact Section 3 statistics of one hint set over a full trace."""
+
+    hint_key: tuple
+    requests: int                # N(H)
+    read_rereferences: int       # Nr(H)
+    write_rereferences: int
+    no_rereferences: int
+    mean_distance: float         # D(H)
+    priority: float              # Pr(H)
+
+    @property
+    def frequency(self) -> int:
+        return self.requests
+
+    @property
+    def read_hit_rate(self) -> float:
+        return self.read_rereferences / self.requests if self.requests else 0.0
+
+
+def analyze_hint_sets(requests: Sequence[IORequest]) -> dict[tuple, HintSetAnalysis]:
+    """Compute exact per-hint-set statistics for a full trace.
+
+    Every request is classified by the *next* request for the same page:
+
+    * a later read  -> read re-reference (counts towards ``Nr`` and ``D``);
+    * a later write -> write re-reference (caching would have been useless);
+    * no later request -> no re-reference.
+    """
+    accumulators: dict[tuple, HintSetStats] = {}
+    write_rereferences: dict[tuple, int] = {}
+    no_rereferences: dict[tuple, int] = {}
+    # Pending request per page: (sequence number, hint key).
+    pending: dict[int, tuple[int, tuple]] = {}
+
+    def resolve(previous_seq: int, previous_key: tuple, seq: int | None, is_read: bool) -> None:
+        stats = accumulators.setdefault(previous_key, HintSetStats())
+        if seq is None:
+            no_rereferences[previous_key] = no_rereferences.get(previous_key, 0) + 1
+        elif is_read:
+            stats.read_rereferences += 1
+            stats.distance_total += seq - previous_seq
+        else:
+            write_rereferences[previous_key] = write_rereferences.get(previous_key, 0) + 1
+
+    for seq, request in enumerate(requests):
+        key = request.hints.key()
+        accumulators.setdefault(key, HintSetStats()).requests += 1
+        previous = pending.get(request.page)
+        if previous is not None:
+            resolve(previous[0], previous[1], seq, request.is_read)
+        pending[request.page] = (seq, key)
+
+    # Requests whose page is never requested again.
+    for previous_seq, previous_key in pending.values():
+        resolve(previous_seq, previous_key, None, False)
+
+    results: dict[tuple, HintSetAnalysis] = {}
+    for key, stats in accumulators.items():
+        results[key] = HintSetAnalysis(
+            hint_key=key,
+            requests=stats.requests,
+            read_rereferences=stats.read_rereferences,
+            write_rereferences=write_rereferences.get(key, 0),
+            no_rereferences=no_rereferences.get(key, 0),
+            mean_distance=stats.mean_distance,
+            priority=compute_priority(stats),
+        )
+    return results
+
+
+def figure3_rows(
+    requests: Sequence[IORequest],
+    include_zero_priority: bool = False,
+) -> list[dict]:
+    """The (frequency, priority) scatter of Figure 3, one row per hint set.
+
+    The paper plots all hint sets with non-zero caching priority; pass
+    ``include_zero_priority=True`` to keep the rest as well.
+    """
+    analysis = analyze_hint_sets(requests)
+    rows = []
+    for result in sorted(analysis.values(), key=lambda r: r.priority, reverse=True):
+        if result.priority == 0.0 and not include_zero_priority:
+            continue
+        rows.append(
+            {
+                "hint_set": result.hint_key,
+                "frequency": result.frequency,
+                "priority": result.priority,
+                "read_hit_rate": result.read_hit_rate,
+                "mean_distance": result.mean_distance,
+            }
+        )
+    return rows

@@ -1,0 +1,64 @@
+"""Report formatting: text tables and CSV emission for experiment results.
+
+Every experiment in :mod:`repro.experiments` produces either a
+:class:`~repro.simulation.metrics.SweepResult` or a list of row dicts; this
+module renders them the way the paper's tables/figures report them and writes
+optional CSV files so the series can be re-plotted externally.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.simulation.metrics import format_table
+
+__all__ = ["rows_to_table", "rows_to_csv", "percentage", "series_to_rows"]
+
+
+def percentage(value: float) -> str:
+    """Format a ratio the way the paper's axes do (e.g. ``0.416 -> '41.6%'``)."""
+    return f"{value * 100:.1f}%"
+
+
+def rows_to_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render a list of row dicts as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    body = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    return format_table(columns, body)
+
+
+def rows_to_csv(rows: Sequence[Mapping], path: str | Path, columns: Sequence[str] | None = None) -> Path:
+    """Write rows to a CSV file and return the path."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def series_to_rows(series: Mapping[str, Sequence[tuple[float, float]]], x_name: str) -> list[dict]:
+    """Flatten ``{label: [(x, y), ...]}`` curves into row dicts for tabulation."""
+    rows = []
+    for label, points in series.items():
+        for x, y in points:
+            rows.append({"series": label, x_name: x, "read_hit_ratio": y})
+    return rows

@@ -1,0 +1,136 @@
+"""ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+
+ARC is the paper's strongest hint-oblivious baseline.  It balances recency
+and frequency by splitting the cache into two LRU lists, T1 (pages seen
+once recently) and T2 (pages seen at least twice recently), and keeps two
+ghost lists, B1 and B2, of recently evicted page ids.  Ghost hits adapt the
+target size ``p`` of T1.
+
+This is a direct implementation of the ARC pseudo-code (Algorithm "ARC(c)")
+from the original paper.  Both reads and writes count as references, matching
+how the CLIC paper drives all policies with the full request stream.  Note
+that the CLIC paper points out ARC enjoys a small space advantage in their
+comparison because its ghost lists are not charged against the cache size; we
+preserve that convention (see ``CLICConfig.charge_metadata`` for how CLIC is
+charged).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["ARCPolicy"]
+
+
+class ARCPolicy(CachePolicy):
+    """Adaptive Replacement Cache."""
+
+    name = "ARC"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._p = 0.0  # target size for T1 (adaptation parameter)
+        # All four lists are ordered LRU -> MRU.
+        self._t1: OrderedDict[int, None] = OrderedDict()
+        self._t2: OrderedDict[int, None] = OrderedDict()
+        self._b1: OrderedDict[int, None] = OrderedDict()
+        self._b2: OrderedDict[int, None] = OrderedDict()
+
+    # ----------------------------------------------------------- internals
+    def _replace(self, in_b2: bool) -> None:
+        """REPLACE(x, p) from the ARC paper: evict from T1 or T2 to a ghost list."""
+        if self._t1 and (
+            len(self._t1) > self._p
+            or (in_b2 and len(self._t1) == int(self._p))
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        self.stats.evictions += 1
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        c = self.capacity
+
+        # Case I: hit in T1 or T2 -> move to MRU of T2.
+        if page in self._t1 or page in self._t2:
+            self.stats.record(request, True)
+            if page in self._t1:
+                del self._t1[page]
+            else:
+                del self._t2[page]
+            self._t2[page] = None
+            return True
+
+        self.stats.record(request, False)
+
+        # Case II: ghost hit in B1 -> favour recency (grow p).
+        if page in self._b1:
+            delta = 1.0 if len(self._b1) >= len(self._b2) else len(self._b2) / len(self._b1)
+            self._p = min(self._p + delta, float(c))
+            self._replace(in_b2=False)
+            del self._b1[page]
+            self._t2[page] = None
+            self.stats.admissions += 1
+            return False
+
+        # Case III: ghost hit in B2 -> favour frequency (shrink p).
+        if page in self._b2:
+            delta = 1.0 if len(self._b2) >= len(self._b1) else len(self._b1) / len(self._b2)
+            self._p = max(self._p - delta, 0.0)
+            self._replace(in_b2=True)
+            del self._b2[page]
+            self._t2[page] = None
+            self.stats.admissions += 1
+            return False
+
+        # Case IV: complete miss.
+        l1 = len(self._t1) + len(self._b1)
+        l2 = len(self._t2) + len(self._b2)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                # B1 is empty; evict the LRU page of T1 directly.
+                self._t1.popitem(last=False)
+                self.stats.evictions += 1
+        elif l1 < c and l1 + l2 >= c:
+            if l1 + l2 == 2 * c:
+                self._b2.popitem(last=False)
+            self._replace(in_b2=False)
+        self._t1[page] = None
+        self.stats.admissions += 1
+        return False
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, page: int) -> bool:
+        return page in self._t1 or page in self._t2
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def cached_pages(self) -> Iterable[int]:
+        yield from self._t1
+        yield from self._t2
+
+    @property
+    def target_t1_size(self) -> float:
+        """Current value of the adaptation parameter ``p`` (for tests/inspection)."""
+        return self._p
+
+    def reset(self) -> None:
+        super().reset()
+        self._p = 0.0
+        for lst in (self._t1, self._t2, self._b1, self._b2):
+            lst.clear()

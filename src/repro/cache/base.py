@@ -1,0 +1,177 @@
+"""Common interface for storage-server cache replacement policies.
+
+Every policy in this package (and :class:`repro.core.clic.CLICPolicy`)
+implements :class:`CachePolicy`.  The trace-driven simulator feeds a policy
+one :class:`~repro.simulation.request.IORequest` at a time, in arrival order,
+together with the request's server-assigned sequence number; the policy
+reports whether the requested page was in the cache and updates its internal
+state (admission, promotion, eviction).
+
+The paper's evaluation metric is the *read hit ratio*: the number of read
+hits divided by the number of read requests.  Policies report hits for both
+reads and writes; the simulator and :class:`CacheStats` do the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["CacheStats", "CachePolicy", "validate_capacity"]
+
+
+def validate_capacity(capacity: int) -> int:
+    """Validate a cache capacity expressed in pages."""
+    if not isinstance(capacity, int):
+        raise TypeError(f"capacity must be an int, got {type(capacity).__name__}")
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return capacity
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one simulation run of a single policy."""
+
+    read_requests: int = 0
+    read_hits: int = 0
+    write_requests: int = 0
+    write_hits: int = 0
+    evictions: int = 0
+    admissions: int = 0
+    bypasses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.read_requests + self.write_requests
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Read hits / read requests (the paper's metric).  0.0 if no reads."""
+        if self.read_requests == 0:
+            return 0.0
+        return self.read_hits / self.read_requests
+
+    @property
+    def overall_hit_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return (self.read_hits + self.write_hits) / self.requests
+
+    def record(self, request: IORequest, hit: bool) -> None:
+        """Record the outcome of one request."""
+        if request.is_read:
+            self.read_requests += 1
+            if hit:
+                self.read_hits += 1
+        else:
+            self.write_requests += 1
+            if hit:
+                self.write_hits += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new :class:`CacheStats` aggregating *self* and *other*."""
+        return CacheStats(
+            read_requests=self.read_requests + other.read_requests,
+            read_hits=self.read_hits + other.read_hits,
+            write_requests=self.write_requests + other.write_requests,
+            write_hits=self.write_hits + other.write_hits,
+            evictions=self.evictions + other.evictions,
+            admissions=self.admissions + other.admissions,
+            bypasses=self.bypasses + other.bypasses,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "read_requests": self.read_requests,
+            "read_hits": self.read_hits,
+            "read_hit_ratio": self.read_hit_ratio,
+            "write_requests": self.write_requests,
+            "write_hits": self.write_hits,
+            "evictions": self.evictions,
+            "admissions": self.admissions,
+            "bypasses": self.bypasses,
+        }
+
+
+class CachePolicy(abc.ABC):
+    """Abstract base class for storage-server cache replacement policies.
+
+    Subclasses must implement :meth:`access` and :meth:`contains`, keep the
+    number of cached pages at or below ``capacity`` at all times, and maintain
+    :attr:`stats`.
+    """
+
+    #: Short name used by the policy registry and in experiment output.
+    name: str = "base"
+
+    #: Whether the policy reads hints from requests.  Purely informational.
+    hint_aware: bool = False
+
+    #: Whether the policy requires the full future request stream up front
+    #: (:meth:`prepare`) before simulation.  Only OPT sets this.
+    offline: bool = False
+
+    def __init__(self, capacity: int):
+        self._capacity = validate_capacity(capacity)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ API
+    @property
+    def capacity(self) -> int:
+        """Cache capacity in pages."""
+        return self._capacity
+
+    def prepare(self, requests: Sequence[IORequest]) -> None:
+        """Give offline policies (OPT) the full request stream in advance.
+
+        Online policies ignore this.  The simulator calls it once before the
+        first :meth:`access` when the policy declares ``offline = True``.
+        """
+
+    @abc.abstractmethod
+    def access(self, request: IORequest, seq: int) -> bool:
+        """Process one request; return ``True`` iff the page was cached.
+
+        ``seq`` is the server-assigned sequence number (0-based position of
+        the request in the stream).  Implementations must call
+        ``self.stats.record(request, hit)`` exactly once.
+        """
+
+    @abc.abstractmethod
+    def contains(self, page: int) -> bool:
+        """Return whether *page* is currently cached (no side effects)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of pages currently cached."""
+
+    def cached_pages(self) -> Iterable[int]:
+        """Iterate over the currently cached page ids (order unspecified).
+
+        The default implementation raises ``NotImplementedError``; concrete
+        policies in this package all override it, and tests rely on it to
+        check invariants.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all cached pages and statistics (capacity is kept)."""
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- helpers
+    def _check_invariant(self) -> None:
+        """Assert the capacity invariant.  Cheap; used by tests."""
+        if len(self) > self._capacity:
+            raise AssertionError(
+                f"{self.name}: cached pages {len(self)} exceed capacity {self._capacity}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(capacity={self._capacity}, cached={len(self)})"

@@ -1,0 +1,137 @@
+"""CAR: Clock with Adaptive Replacement (Bansal & Modha, FAST '04).
+
+CAR combines ARC's adaptation with CLOCK's reference-bit approximation of
+recency.  Two clocks T1 (recency) and T2 (frequency) hold cached pages, and
+two LRU ghost lists B1/B2 hold recently evicted ids; ghost hits adapt the
+target size ``p`` of T1, exactly as in ARC.
+
+Listed in the CLIC paper's related work; included for extended comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["CARPolicy"]
+
+
+class CARPolicy(CachePolicy):
+    """Clock with Adaptive Replacement."""
+
+    name = "CAR"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._p = 0.0
+        self._t1: deque[int] = deque()   # clock 1 (circular buffer of page ids)
+        self._t2: deque[int] = deque()   # clock 2
+        self._ref: dict[int, bool] = {}  # reference bit for cached pages
+        self._in_t1: set[int] = set()
+        self._in_t2: set[int] = set()
+        self._b1: OrderedDict[int, None] = OrderedDict()
+        self._b2: OrderedDict[int, None] = OrderedDict()
+
+    # ----------------------------------------------------------- internals
+    def _replace(self) -> None:
+        """The CAR "replace()" procedure: demote from T1/T2 into B1/B2."""
+        while True:
+            if len(self._t1) >= max(1, int(self._p)) and self._t1:
+                page = self._t1.popleft()
+                if self._ref[page]:
+                    # Second chance: move to tail of T2 with the bit cleared.
+                    self._ref[page] = False
+                    self._in_t1.discard(page)
+                    self._in_t2.add(page)
+                    self._t2.append(page)
+                else:
+                    self._in_t1.discard(page)
+                    del self._ref[page]
+                    self._b1[page] = None
+                    self.stats.evictions += 1
+                    return
+            elif self._t2:
+                page = self._t2.popleft()
+                if self._ref[page]:
+                    self._ref[page] = False
+                    self._t2.append(page)
+                else:
+                    self._in_t2.discard(page)
+                    del self._ref[page]
+                    self._b2[page] = None
+                    self.stats.evictions += 1
+                    return
+            else:  # pragma: no cover - only reachable with capacity 0, which is rejected
+                return
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        c = self.capacity
+        if page in self._ref:
+            self.stats.record(request, True)
+            self._ref[page] = True
+            return True
+
+        self.stats.record(request, False)
+        in_b1 = page in self._b1
+        in_b2 = page in self._b2
+
+        if len(self) == c:
+            self._replace()
+            # Ghost-list housekeeping on a complete miss.
+            if not in_b1 and not in_b2:
+                if len(self._t1) + len(self._b1) > c and self._b1:
+                    self._b1.popitem(last=False)
+                elif len(self) + len(self._b1) + len(self._b2) > 2 * c and self._b2:
+                    self._b2.popitem(last=False)
+
+        if not in_b1 and not in_b2:
+            self._t1.append(page)
+            self._in_t1.add(page)
+            self._ref[page] = False
+        elif in_b1:
+            self._p = min(
+                self._p + max(1.0, len(self._b2) / max(1, len(self._b1))), float(c)
+            )
+            del self._b1[page]
+            self._t2.append(page)
+            self._in_t2.add(page)
+            self._ref[page] = False
+        else:
+            self._p = max(
+                self._p - max(1.0, len(self._b1) / max(1, len(self._b2))), 0.0
+            )
+            del self._b2[page]
+            self._t2.append(page)
+            self._in_t2.add(page)
+            self._ref[page] = False
+        self.stats.admissions += 1
+        return False
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, page: int) -> bool:
+        return page in self._ref
+
+    def __len__(self) -> int:
+        return len(self._ref)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._ref)
+
+    def reset(self) -> None:
+        super().reset()
+        self._p = 0.0
+        self._t1.clear()
+        self._t2.clear()
+        self._ref.clear()
+        self._in_t1.clear()
+        self._in_t2.clear()
+        self._b1.clear()
+        self._b2.clear()

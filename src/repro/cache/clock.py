@@ -1,0 +1,79 @@
+"""CLOCK (second-chance) replacement.
+
+A one-bit approximation of LRU.  Used by the synthetic first-tier buffer-pool
+simulator (real DBMS buffer pools typically use clock variants) and available
+as an extra baseline for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["ClockPolicy"]
+
+
+class ClockPolicy(CachePolicy):
+    """Classic CLOCK: a circular list of pages with reference bits."""
+
+    name = "CLOCK"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._frames: list[int] = []          # page id per frame, in clock order
+        self._ref: dict[int, bool] = {}       # page -> reference bit
+        self._index: dict[int, int] = {}      # page -> frame position
+        self._hand = 0
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        hit = page in self._ref
+        self.stats.record(request, hit)
+        if hit:
+            self._ref[page] = True
+            return True
+        if len(self._frames) < self.capacity:
+            self._index[page] = len(self._frames)
+            self._frames.append(page)
+            self._ref[page] = False
+            self.stats.admissions += 1
+            return False
+        # Advance the hand, clearing reference bits, until an unreferenced
+        # page is found; replace it in place.
+        while True:
+            victim = self._frames[self._hand]
+            if self._ref[victim]:
+                self._ref[victim] = False
+                self._hand = (self._hand + 1) % self.capacity
+            else:
+                del self._ref[victim]
+                del self._index[victim]
+                self._frames[self._hand] = page
+                self._index[page] = self._hand
+                self._ref[page] = False
+                self._hand = (self._hand + 1) % self.capacity
+                self.stats.evictions += 1
+                self.stats.admissions += 1
+                return False
+
+    def contains(self, page: int) -> bool:
+        return page in self._ref
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._frames)
+
+    def reset(self) -> None:
+        super().reset()
+        self._frames.clear()
+        self._ref.clear()
+        self._index.clear()
+        self._hand = 0

@@ -1,0 +1,54 @@
+"""First-In-First-Out replacement.
+
+Not evaluated in the paper, but used as a cheap utility policy (e.g. by the
+first-tier workload simulator's prefetch buffer) and in ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(CachePolicy):
+    """Evicts the page that entered the cache earliest, regardless of use."""
+
+    name = "FIFO"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        hit = page in self._pages
+        self.stats.record(request, hit)
+        if not hit:
+            if len(self._pages) >= self.capacity:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+            self._pages[page] = None
+            self.stats.admissions += 1
+        return hit
+
+    def contains(self, page: int) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._pages)
+
+    def reset(self) -> None:
+        super().reset()
+        self._pages.clear()

@@ -1,0 +1,76 @@
+"""Least-Frequently-Used replacement with LRU tie-breaking.
+
+Not part of the paper's comparison set; included as an additional
+hint-oblivious baseline for ablation benches, and because frequency-based
+policies are the natural contrast to recency-based ones in second-tier
+caches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(CachePolicy):
+    """LFU using a lazy-deletion heap keyed by (frequency, last-use order)."""
+
+    name = "LFU"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._freq: dict[int, int] = {}
+        self._heap: list[tuple[int, int, int]] = []   # (freq, tiebreak, page)
+        self._counter = itertools.count()
+
+    def _push(self, page: int) -> None:
+        heapq.heappush(self._heap, (self._freq[page], next(self._counter), page))
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        hit = page in self._freq
+        self.stats.record(request, hit)
+        if hit:
+            self._freq[page] += 1
+            self._push(page)
+            return True
+        if len(self._freq) >= self.capacity:
+            self._evict_one()
+        self._freq[page] = 1
+        self._push(page)
+        self.stats.admissions += 1
+        return False
+
+    def _evict_one(self) -> None:
+        while self._heap:
+            freq, _tiebreak, page = heapq.heappop(self._heap)
+            if self._freq.get(page) == freq:
+                del self._freq[page]
+                self.stats.evictions += 1
+                return
+        raise RuntimeError("LFU heap exhausted while cache non-empty")  # pragma: no cover
+
+    def contains(self, page: int) -> bool:
+        return page in self._freq
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._freq)
+
+    def reset(self) -> None:
+        super().reset()
+        self._freq.clear()
+        self._heap.clear()
+        self._counter = itertools.count()

@@ -1,0 +1,59 @@
+"""Least-Recently-Used replacement (the paper's simplest baseline).
+
+LRU replaces the page whose most recent request is oldest.  Both reads and
+writes count as uses and admit the page into the cache.  The paper expects
+LRU to perform poorly on second-tier traces because the first-tier cache
+absorbs most of the temporal locality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(CachePolicy):
+    """Classic LRU over all requests (reads and writes)."""
+
+    name = "LRU"
+    hint_aware = False
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # OrderedDict ordered from least- to most-recently used.
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        hit = page in self._pages
+        self.stats.record(request, hit)
+        if hit:
+            self._pages.move_to_end(page)
+        else:
+            if len(self._pages) >= self.capacity:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+            self._pages[page] = None
+            self.stats.admissions += 1
+        return hit
+
+    def contains(self, page: int) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._pages)
+
+    def reset(self) -> None:
+        super().reset()
+        self._pages.clear()

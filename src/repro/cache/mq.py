@@ -1,0 +1,142 @@
+"""MQ: Multi-Queue replacement (Zhou, Chen & Li) for second-level caches.
+
+MQ was designed specifically for second-tier buffer caches, where temporal
+locality is weak and access frequency matters more.  It maintains ``m`` LRU
+queues Q0..Q(m-1); a page with reference count ``f`` lives in queue
+``min(log2(f), m-1)``.  Each cached page carries an ``expireTime``; when the
+current time passes it, the page is demoted one queue level.  Evicted pages'
+ids and reference counts are remembered in a ghost queue Qout so that
+frequency survives eviction.
+
+The CLIC paper cites MQ as a representative hint-oblivious second-tier
+policy (TQ was shown to beat it when write hints are available).  It is not
+plotted in the paper's figures, but we include it for extended comparisons
+and ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["MQPolicy"]
+
+
+class _MQEntry:
+    __slots__ = ("page", "freq", "expire", "level")
+
+    def __init__(self, page: int, freq: int, expire: int, level: int):
+        self.page = page
+        self.freq = freq
+        self.expire = expire
+        self.level = level
+
+
+class MQPolicy(CachePolicy):
+    """Multi-Queue with ``m`` levels, a lifetime parameter and a ghost queue."""
+
+    name = "MQ"
+    hint_aware = False
+
+    def __init__(
+        self,
+        capacity: int,
+        num_queues: int = 8,
+        lifetime: int | None = None,
+        ghost_size: int | None = None,
+    ):
+        super().__init__(capacity)
+        if num_queues < 1:
+            raise ValueError("num_queues must be >= 1")
+        self._m = num_queues
+        # "lifeTime" controls how quickly pages decay to lower queues.  The MQ
+        # paper recommends the peak temporal distance; a multiple of the cache
+        # size is the usual simulator default.
+        self._lifetime = lifetime if lifetime is not None else 4 * capacity
+        self._ghost_capacity = ghost_size if ghost_size is not None else 4 * capacity
+        self._queues: list[OrderedDict[int, _MQEntry]] = [
+            OrderedDict() for _ in range(self._m)
+        ]
+        self._where: dict[int, _MQEntry] = {}
+        self._ghost: OrderedDict[int, int] = OrderedDict()  # page -> remembered freq
+        self._now = 0
+
+    # ----------------------------------------------------------- internals
+    def _level_for(self, freq: int) -> int:
+        return min(int(math.log2(freq)) if freq > 0 else 0, self._m - 1)
+
+    def _adjust(self) -> None:
+        """Demote pages whose lifetime has expired (the MQ "Adjust" step)."""
+        for level in range(1, self._m):
+            queue = self._queues[level]
+            while queue:
+                page, entry = next(iter(queue.items()))
+                if entry.expire < self._now:
+                    del queue[page]
+                    entry.level = level - 1
+                    entry.expire = self._now + self._lifetime
+                    self._queues[level - 1][page] = entry
+                else:
+                    break
+
+    def _evict_one(self) -> None:
+        for level in range(self._m):
+            queue = self._queues[level]
+            if queue:
+                page, entry = queue.popitem(last=False)
+                del self._where[page]
+                self._ghost[page] = entry.freq
+                if len(self._ghost) > self._ghost_capacity:
+                    self._ghost.popitem(last=False)
+                self.stats.evictions += 1
+                return
+        raise RuntimeError("MQ eviction requested on an empty cache")  # pragma: no cover
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        self._now += 1
+        hit = page in self._where
+        self.stats.record(request, hit)
+        if hit:
+            entry = self._where[page]
+            del self._queues[entry.level][page]
+            entry.freq += 1
+            entry.level = self._level_for(entry.freq)
+            entry.expire = self._now + self._lifetime
+            self._queues[entry.level][page] = entry
+        else:
+            if len(self._where) >= self.capacity:
+                self._evict_one()
+            freq = self._ghost.pop(page, 0) + 1
+            level = self._level_for(freq)
+            entry = _MQEntry(page, freq, self._now + self._lifetime, level)
+            self._queues[level][page] = entry
+            self._where[page] = entry
+            self.stats.admissions += 1
+        self._adjust()
+        return hit
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, page: int) -> bool:
+        return page in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._where)
+
+    def reset(self) -> None:
+        super().reset()
+        for q in self._queues:
+            q.clear()
+        self._where.clear()
+        self._ghost.clear()
+        self._now = 0

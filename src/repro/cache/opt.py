@@ -1,0 +1,136 @@
+"""OPT: Belady's MIN algorithm, specialised for read hit ratio.
+
+The CLIC paper uses the off-line optimal policy as an upper bound: "It
+replaces the cached page that will not be *read* for the longest time."
+Because the paper's metric is the read hit ratio, only future *read*
+references matter; a page that will only be written again (or never touched
+again) is worthless in the cache.
+
+This implementation additionally applies the bypass optimisation: on a miss,
+if the requested page's next read lies further in the future than every
+cached page's next read (in particular, if it will never be read again), the
+page is not admitted at all.  This is the true optimum for the read-hit
+metric and can only raise the upper bound.
+
+OPT is an off-line policy: the simulator must call :meth:`prepare` with the
+complete request stream before feeding requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["OPTPolicy"]
+
+#: Sentinel "time" for pages that are never read again.
+_NEVER = float("inf")
+
+
+class OPTPolicy(CachePolicy):
+    """Belady's MIN with future knowledge of read references."""
+
+    name = "OPT"
+    hint_aware = False
+    offline = True
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._read_positions: dict[int, list[int]] = {}
+        self._prepared = False
+        self._cached: dict[int, float] = {}      # page -> next read time (may be stale)
+        self._heap: list[tuple[float, int]] = [] # (-next_read, page), lazy deletion
+
+    # --------------------------------------------------------------- set-up
+    def prepare(self, requests: Sequence[IORequest]) -> None:
+        """Index the future read positions of every page in the stream."""
+        self._read_positions = {}
+        for pos, request in enumerate(requests):
+            if request.is_read:
+                self._read_positions.setdefault(request.page, []).append(pos)
+        self._prepared = True
+
+    def _next_read(self, page: int, seq: int) -> float:
+        """Position of the first read of *page* strictly after *seq*."""
+        positions = self._read_positions.get(page)
+        if not positions:
+            return _NEVER
+        idx = bisect_right(positions, seq)
+        if idx == len(positions):
+            return _NEVER
+        return float(positions[idx])
+
+    # --------------------------------------------------------------- access
+    def access(self, request: IORequest, seq: int) -> bool:
+        if not self._prepared:
+            raise RuntimeError("OPTPolicy.access called before prepare()")
+        page = request.page
+        hit = page in self._cached
+        self.stats.record(request, hit)
+
+        next_read = self._next_read(page, seq)
+        if hit:
+            if next_read == _NEVER:
+                # The page will never be read again: free the slot immediately.
+                del self._cached[page]
+                self.stats.evictions += 1
+            else:
+                self._cached[page] = next_read
+                heapq.heappush(self._heap, (-next_read, page))
+            return True
+
+        if next_read == _NEVER:
+            # Never read again: pointless to cache (bypass).
+            self.stats.bypasses += 1
+            return False
+
+        if len(self._cached) >= self.capacity:
+            victim = self._pop_farthest()
+            if victim is None or self._cached[victim] <= next_read:
+                # Every cached page is read sooner than the new page: bypass.
+                if victim is not None:
+                    heapq.heappush(self._heap, (-self._cached[victim], victim))
+                self.stats.bypasses += 1
+                return False
+            del self._cached[victim]
+            self.stats.evictions += 1
+
+        self._cached[page] = next_read
+        heapq.heappush(self._heap, (-next_read, page))
+        self.stats.admissions += 1
+        return False
+
+    def _pop_farthest(self) -> int | None:
+        """Return the cached page with the farthest next read (without removing it)."""
+        while self._heap:
+            neg_time, page = self._heap[0]
+            current = self._cached.get(page)
+            if current is None or current != -neg_time:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            heapq.heappop(self._heap)
+            return page
+        return None
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, page: int) -> bool:
+        return page in self._cached
+
+    def __len__(self) -> int:
+        return len(self._cached)
+
+    def cached_pages(self) -> Iterable[int]:
+        return iter(self._cached)
+
+    def reset(self) -> None:
+        super().reset()
+        self._cached.clear()
+        self._heap.clear()
+        # The future-read index survives reset so the same trace can be re-run.

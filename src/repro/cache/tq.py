@@ -1,0 +1,160 @@
+"""TQ: the ad-hoc write-hint-aware second-tier policy (Li et al., FAST '05).
+
+TQ is the state-of-the-art hint-aware baseline in the CLIC paper.  It
+exploits exactly one kind of hint — *write hints* attached to write requests
+by the DBMS — with a hard-coded interpretation:
+
+* **replacement writes** (including synchronous replacement writes) signal
+  that the first tier is evicting the page; any future read of the page must
+  come to the storage server, so the page is a *good* caching candidate.
+* **recovery writes** signal that the page is being persisted for
+  recoverability while remaining hot in the first-tier cache; future reads
+  will be absorbed by the first tier, so the page is a *poor* caching
+  candidate.
+* read misses bring pages that the first tier is about to cache itself, so
+  they are likewise poor candidates.
+
+The published algorithm manages the cache with two logical queues — a
+high-value queue holding pages whose most recent request was a replacement
+(or synchronous) write, and a low-value queue holding everything else — and
+evicts from the low-value queue (LRU order) before touching the high-value
+queue.  A replacement-written page that is *not* read back within a bounded
+number of requests loses its protection: it is demoted to the low-value
+queue, so stale write pages cannot monopolise the cache.  This module
+reproduces that structure (the demotion lifetime defaults to a small multiple
+of the cache size).  Because TQ's response is hard-coded, it must be
+configured with the name of the hint type that carries the write hint and the
+hint values that denote each write class; defaults match the DB2/MySQL
+schemas in :mod:`repro.trace.schema`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["TQPolicy", "DEFAULT_REQUEST_TYPE_HINT", "DEFAULT_REPLACEMENT_VALUES", "DEFAULT_RECOVERY_VALUES"]
+
+#: Hint type that carries the write hint in the bundled DB2/MySQL schemas.
+DEFAULT_REQUEST_TYPE_HINT = "request_type"
+#: Hint values denoting replacement-class writes (good caching candidates).
+DEFAULT_REPLACEMENT_VALUES = frozenset({"replacement_write", "synchronous_write"})
+#: Hint values denoting recovery-class writes (poor caching candidates).
+DEFAULT_RECOVERY_VALUES = frozenset({"recovery_write"})
+
+
+class TQPolicy(CachePolicy):
+    """Two-queue, write-hint-aware replacement."""
+
+    name = "TQ"
+    hint_aware = True
+
+    def __init__(
+        self,
+        capacity: int,
+        request_type_hint: str = DEFAULT_REQUEST_TYPE_HINT,
+        replacement_values: frozenset[str] | set[str] = DEFAULT_REPLACEMENT_VALUES,
+        recovery_values: frozenset[str] | set[str] = DEFAULT_RECOVERY_VALUES,
+        cache_recovery_writes: bool = False,
+        write_queue_lifetime: int | None = None,
+    ):
+        super().__init__(capacity)
+        self._hint_name = request_type_hint
+        self._replacement_values = frozenset(replacement_values)
+        self._recovery_values = frozenset(recovery_values)
+        self._cache_recovery_writes = cache_recovery_writes
+        #: Requests a replacement-written page may wait for its read-back
+        #: before losing its protected status.
+        self._lifetime = write_queue_lifetime if write_queue_lifetime is not None else 4 * capacity
+        # Both queues are ordered LRU -> MRU; the high queue remembers when
+        # each page was enqueued so stale entries can be demoted.
+        self._high: OrderedDict[int, int] = OrderedDict()   # page -> enqueue seq
+        self._low: OrderedDict[int, None] = OrderedDict()   # everything else
+
+    # ----------------------------------------------------------- internals
+    def _classify(self, request: IORequest) -> str:
+        """Classify a request as 'replacement', 'recovery' or 'other'."""
+        if request.is_write:
+            value = request.hints.get(self._hint_name)
+            if value in self._replacement_values:
+                return "replacement"
+            if value in self._recovery_values:
+                return "recovery"
+        return "other"
+
+    def _remove(self, page: int) -> None:
+        if page in self._high:
+            del self._high[page]
+        elif page in self._low:
+            del self._low[page]
+
+    def _enqueue(self, page: int, klass: str, seq: int) -> None:
+        if klass == "replacement":
+            self._high[page] = seq
+        else:
+            self._low[page] = None
+
+    def _demote_stale(self, seq: int) -> None:
+        """Move replacement-written pages that were never read back to the low queue."""
+        while self._high:
+            page, enqueued = next(iter(self._high.items()))
+            if seq - enqueued <= self._lifetime:
+                break
+            del self._high[page]
+            self._low[page] = None
+            # Demoted pages become the low queue's coldest entries.
+            self._low.move_to_end(page, last=False)
+
+    def _evict_one(self) -> None:
+        if self._low:
+            self._low.popitem(last=False)
+        else:
+            self._high.popitem(last=False)
+        self.stats.evictions += 1
+
+    # --------------------------------------------------------------- access
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        hit = page in self._high or page in self._low
+        self.stats.record(request, hit)
+        klass = self._classify(request)
+        self._demote_stale(seq)
+
+        if hit:
+            # Re-queue according to the class of the *most recent* request.
+            self._remove(page)
+            self._enqueue(page, klass, seq)
+            return True
+
+        if klass == "recovery" and not self._cache_recovery_writes:
+            # Hard-coded response: recovery writes are not worth caching.
+            self.stats.bypasses += 1
+            return False
+
+        if len(self) >= self.capacity:
+            self._evict_one()
+        self._enqueue(page, klass, seq)
+        self.stats.admissions += 1
+        return False
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, page: int) -> bool:
+        return page in self._high or page in self._low
+
+    def __len__(self) -> int:
+        return len(self._high) + len(self._low)
+
+    def cached_pages(self) -> Iterable[int]:
+        yield from self._low
+        yield from self._high
+
+    def reset(self) -> None:
+        super().reset()
+        self._high.clear()
+        self._low.clear()

@@ -1,0 +1,99 @@
+"""2Q replacement (Johnson & Shasha, VLDB '94) — the "full version" (2Q-2).
+
+2Q avoids LRU's weakness to correlated/scan references by admitting pages
+first into a small FIFO queue ``A1in``.  Only pages re-referenced after
+falling out of ``A1in`` (their ids are remembered in a ghost queue
+``A1out``) are promoted into the main LRU queue ``Am``.
+
+Listed in the CLIC paper's related work as one of the classic hint-oblivious
+improvements over LRU; included here for extended comparisons/ablations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.cache.base import CachePolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
+    from repro.simulation.request import IORequest
+
+__all__ = ["TwoQPolicy"]
+
+
+class TwoQPolicy(CachePolicy):
+    """2Q with the commonly recommended sizing Kin = 25% of C, Kout = 50% of C."""
+
+    name = "2Q"
+    hint_aware = False
+
+    def __init__(self, capacity: int, kin_fraction: float = 0.25, kout_fraction: float = 0.5):
+        super().__init__(capacity)
+        if not 0.0 < kin_fraction < 1.0:
+            raise ValueError("kin_fraction must be in (0, 1)")
+        if kout_fraction <= 0.0:
+            raise ValueError("kout_fraction must be positive")
+        self._kin = max(1, int(capacity * kin_fraction))
+        self._kout = max(1, int(capacity * kout_fraction))
+        self._a1in: OrderedDict[int, None] = OrderedDict()   # FIFO of new pages
+        self._a1out: OrderedDict[int, None] = OrderedDict()  # ghost FIFO (ids only)
+        self._am: OrderedDict[int, None] = OrderedDict()     # main LRU
+
+    def _reclaim_for(self, page: int) -> None:
+        """Free one frame, following the 2Q "reclaimfor" procedure."""
+        if len(self) < self.capacity:
+            return
+        if len(self._a1in) > self._kin:
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        elif self._am:
+            self._am.popitem(last=False)
+        else:
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        self.stats.evictions += 1
+
+    def access(self, request: IORequest, seq: int) -> bool:
+        page = request.page
+        if page in self._am:
+            self.stats.record(request, True)
+            self._am.move_to_end(page)
+            return True
+        if page in self._a1in:
+            # 2Q leaves A1in hits in place (FIFO order unchanged).
+            self.stats.record(request, True)
+            return True
+        self.stats.record(request, False)
+        if page in self._a1out:
+            # Remove the ghost entry first: reclaiming may itself push an A1in
+            # victim into A1out and trim the ghost queue.
+            del self._a1out[page]
+            self._reclaim_for(page)
+            self._am[page] = None
+        else:
+            self._reclaim_for(page)
+            self._a1in[page] = None
+        self.stats.admissions += 1
+        return False
+
+    def contains(self, page: int) -> bool:
+        return page in self._am or page in self._a1in
+
+    def __len__(self) -> int:
+        return len(self._am) + len(self._a1in)
+
+    def cached_pages(self) -> Iterable[int]:
+        yield from self._a1in
+        yield from self._am
+
+    def reset(self) -> None:
+        super().reset()
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()

@@ -1,0 +1,142 @@
+"""Hint-set grouping: tracking statistics per *group* of hint sets.
+
+Section 6.3 of the paper shows that useless ("noise") hint types dilute the
+informative hint sets and overwhelm a bounded hint table; Section 8 proposes
+grouping related hint sets together — e.g. with a decision tree over hint
+types — as future work.  This module implements a practical version of that
+idea:
+
+* :func:`project_hint_key` groups hint sets by *projecting* them onto a chosen
+  subset of hint types (all hint sets that agree on those types share one
+  statistics entry);
+* :func:`select_informative_hint_types` chooses that subset greedily, in the
+  spirit of decision-tree attribute selection: starting from the empty
+  projection it repeatedly adds the hint type whose addition best separates
+  hint sets with different caching priorities (weighted by how often they
+  occur), until either the requested number of types is reached or no further
+  type improves the separation.
+
+:class:`repro.core.clic.CLICPolicy` applies the projection when configured
+with ``CLICConfig(hint_projection=...)``, so a deployment facing many noisy
+hint types can group them without touching the clients.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.hints import HintSet
+from repro.core.statistics import HintSetStats, compute_priority
+
+__all__ = [
+    "project_hint_set",
+    "project_hint_key",
+    "grouping_score",
+    "select_informative_hint_types",
+]
+
+
+def project_hint_set(hints: HintSet, keep_names: Sequence[str]) -> HintSet:
+    """Project *hints* onto the hint types in *keep_names* that it actually has.
+
+    Unlike :meth:`HintSet.project`, hint types missing from the hint set are
+    silently skipped, so one projection can be applied to hint sets from
+    clients with different schemas.
+    """
+    present = [name for name in keep_names if name in hints.names]
+    return hints.project(present)
+
+
+def project_hint_key(hints: HintSet, keep_names: Sequence[str] | None) -> tuple:
+    """The statistics key for *hints* under a projection (``None`` = identity)."""
+    if keep_names is None:
+        return hints.key()
+    return project_hint_set(hints, keep_names).key()
+
+
+def _weighted_priority_variance(groups: Mapping[tuple, HintSetStats]) -> float:
+    """Between-group variance of priorities, weighted by request counts.
+
+    This is the "separation" a projection achieves: projections that lump
+    high-priority and low-priority hint sets together score low, projections
+    that keep them apart score high.
+    """
+    total_requests = sum(stats.requests for stats in groups.values())
+    if total_requests == 0:
+        return 0.0
+    priorities = {key: compute_priority(stats) for key, stats in groups.items()}
+    mean = sum(
+        priorities[key] * stats.requests for key, stats in groups.items()
+    ) / total_requests
+    return sum(
+        stats.requests * (priorities[key] - mean) ** 2 for key, stats in groups.items()
+    ) / total_requests
+
+
+def _group_by_projection(
+    per_hint_set: Mapping[tuple, HintSetStats],
+    hint_names_by_key: Mapping[tuple, tuple[str, ...]],
+    keep_names: Sequence[str],
+) -> dict[tuple, HintSetStats]:
+    """Merge exact per-hint-set statistics into per-group statistics."""
+    grouped: dict[tuple, HintSetStats] = {}
+    for key, stats in per_hint_set.items():
+        client_id, values = key
+        names = hint_names_by_key[key]
+        kept = tuple(value for name, value in zip(names, values) if name in keep_names)
+        kept_names = tuple(name for name in names if name in keep_names)
+        group_key = (client_id, kept_names, kept)
+        bucket = grouped.setdefault(group_key, HintSetStats())
+        bucket.requests += stats.requests
+        bucket.read_rereferences += stats.read_rereferences
+        bucket.distance_total += stats.distance_total
+    return grouped
+
+
+def grouping_score(
+    per_hint_set: Mapping[tuple, HintSetStats],
+    hint_names_by_key: Mapping[tuple, tuple[str, ...]],
+    keep_names: Sequence[str],
+) -> float:
+    """How well projecting onto *keep_names* separates caching priorities."""
+    grouped = _group_by_projection(per_hint_set, hint_names_by_key, keep_names)
+    return _weighted_priority_variance(grouped)
+
+
+def select_informative_hint_types(
+    per_hint_set: Mapping[tuple, HintSetStats],
+    hint_names_by_key: Mapping[tuple, tuple[str, ...]],
+    max_types: int,
+) -> tuple[str, ...]:
+    """Greedily choose up to *max_types* hint types to group statistics by.
+
+    Parameters
+    ----------
+    per_hint_set:
+        Exact statistics per full hint-set key, e.g. from
+        :func:`repro.analysis.hint_analysis.analyze_hint_sets` converted to
+        :class:`HintSetStats`, or from a :class:`~repro.core.statistics.HintTable`.
+    hint_names_by_key:
+        The hint-type names corresponding to each key's value tuple.
+    max_types:
+        Upper bound on the number of hint types kept.
+    """
+    if max_types < 1:
+        raise ValueError("max_types must be >= 1")
+    candidates: set[str] = set()
+    for names in hint_names_by_key.values():
+        candidates.update(names)
+
+    selected: list[str] = []
+    best_score = grouping_score(per_hint_set, hint_names_by_key, selected)
+    while len(selected) < max_types:
+        best_candidate = None
+        for candidate in sorted(candidates - set(selected)):
+            score = grouping_score(per_hint_set, hint_names_by_key, selected + [candidate])
+            if score > best_score + 1e-15:
+                best_score = score
+                best_candidate = candidate
+        if best_candidate is None:
+            break
+        selected.append(best_candidate)
+    return tuple(selected)

@@ -1,0 +1,127 @@
+"""Windowed hint-set priority estimation (Sections 3 and 3.2).
+
+CLIC divides the request stream into non-overlapping windows of ``W``
+requests.  During window ``i`` it collects statistics with a
+:class:`~repro.core.statistics.HintStatsTracker`; at the window boundary it
+computes the per-window priorities ``p̂r(H)_i = fhit(H) / D(H)`` and blends
+them into the running priorities with exponential smoothing (Equation 3)::
+
+    Pr(H)_i = r * p̂r(H)_i + (1 - r) * Pr(H)_{i-1}
+
+The blended priorities drive the replacement policy during window ``i + 1``.
+Hint sets that have never been observed have priority zero.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.statistics import (
+    HintSetStats,
+    HintStatsTracker,
+    HintTable,
+    compute_priority,
+)
+from repro.core.spacesaving import SpaceSavingTracker
+
+__all__ = ["PriorityManager"]
+
+
+class PriorityManager:
+    """Maintains smoothed caching priorities ``Pr(H)`` across request windows."""
+
+    def __init__(
+        self,
+        window_size: int,
+        decay: float = 1.0,
+        top_k: int | None = None,
+    ):
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self._window_size = window_size
+        self._decay = decay
+        self._tracker: HintStatsTracker = (
+            HintTable() if top_k is None else SpaceSavingTracker(top_k)
+        )
+        self._priorities: dict[tuple, float] = {}
+        self._requests_in_window = 0
+        self._windows_completed = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def window_size(self) -> int:
+        return self._window_size
+
+    @property
+    def decay(self) -> float:
+        return self._decay
+
+    @property
+    def tracker(self) -> HintStatsTracker:
+        return self._tracker
+
+    @property
+    def windows_completed(self) -> int:
+        return self._windows_completed
+
+    @property
+    def requests_in_window(self) -> int:
+        return self._requests_in_window
+
+    # --------------------------------------------------------------- updates
+    def priority(self, hint_key: tuple) -> float:
+        """Current caching priority ``Pr(H)``; zero for unknown hint sets."""
+        return self._priorities.get(hint_key, 0.0)
+
+    def priorities(self) -> Mapping[tuple, float]:
+        """A copy of the current priority assignment."""
+        return dict(self._priorities)
+
+    def record_request(self, hint_key: tuple) -> bool:
+        """Count one request towards the current window.
+
+        Returns ``True`` when the request closes the window (the caller should
+        then rebuild any priority-ordered structures, since priorities changed).
+        """
+        self._tracker.record_request(hint_key)
+        self._requests_in_window += 1
+        if self._requests_in_window >= self._window_size:
+            self._finish_window()
+            return True
+        return False
+
+    def record_read_rereference(self, hint_key: tuple, distance: int) -> None:
+        """Credit a read re-reference to the hint set of the original request."""
+        self._tracker.record_read_rereference(hint_key, distance)
+
+    def _finish_window(self) -> None:
+        window_priorities = self._tracker.priorities()
+        r = self._decay
+        updated: dict[tuple, float] = {}
+        # Hint sets observed this window: blend new estimate with the old value.
+        for key, fresh in window_priorities.items():
+            previous = self._priorities.get(key, 0.0)
+            updated[key] = r * fresh + (1.0 - r) * previous
+        # Hint sets not observed this window decay towards zero (their fresh
+        # estimate is zero); with r == 1 they are forgotten entirely.
+        if r < 1.0:
+            for key, previous in self._priorities.items():
+                if key not in updated:
+                    updated[key] = (1.0 - r) * previous
+        self._priorities = updated
+        self._tracker.clear()
+        self._requests_in_window = 0
+        self._windows_completed += 1
+
+    def force_window_boundary(self) -> None:
+        """Close the current window immediately (useful for tests/analysis)."""
+        self._finish_window()
+
+    def reset(self) -> None:
+        """Forget all statistics and priorities."""
+        self._tracker.clear()
+        self._priorities.clear()
+        self._requests_in_window = 0
+        self._windows_completed = 0

@@ -1,0 +1,199 @@
+"""Space-Saving frequent-item tracking of hint sets (Section 5).
+
+The number of distinct hint sets can grow as large as the product of the
+hint domain cardinalities, so CLIC bounds the space used for hint statistics
+by tracking only the (approximately) ``k`` most frequent hint sets with the
+Space-Saving algorithm of Metwally, Agrawal and El Abbadi (ICDT '05).
+
+Space-Saving keeps ``k`` counters.  When an item arrives:
+
+* if it is tracked, its count is incremented;
+* else, if fewer than ``k`` items are tracked, it is added with count 1 and
+  error 0;
+* otherwise the tracked item with the minimum count ``m`` is *replaced* by
+  the new item, which gets count ``m + 1`` and error ``m``.
+
+``count - error`` is a guaranteed lower bound on an item's true frequency,
+and the paper uses it as ``N(H)``.  The CLIC-specific extension
+(:class:`SpaceSavingTracker`) adds, for each tracked hint set, a read
+re-reference counter ``Nr(H)`` and a distance accumulator (for ``D(H)``)
+that only accumulate while the hint set is being tracked; both are reset
+when the hint set's slot is recycled.
+
+Hint sets that are not currently tracked report ``Nr(H) = 0`` and therefore
+``Pr(H) = 0``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.statistics import HintSetStats, HintStatsTracker
+
+__all__ = ["TrackedItem", "SpaceSaving", "SpaceSavingTracker"]
+
+
+@dataclass
+class TrackedItem:
+    """One Space-Saving counter."""
+
+    item: Hashable
+    count: int
+    error: int
+
+    @property
+    def guaranteed_count(self) -> int:
+        """Lower bound on the item's true frequency (``count - error``)."""
+        return self.count - self.error
+
+    @property
+    def guaranteed(self) -> bool:
+        """Whether the item is guaranteed to have occurred (error-free at least once)."""
+        return self.guaranteed_count > 0
+
+
+class SpaceSaving:
+    """The plain Space-Saving algorithm over a stream of hashable items.
+
+    The implementation keeps a dict of tracked items plus a lazily-validated
+    min-heap of ``(count, tiebreak, item)`` entries, giving amortised O(log k)
+    per update; item replacement reuses the minimum-count slot exactly as the
+    published algorithm prescribes.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._items: dict[Hashable, TrackedItem] = {}
+        self._heap: list[tuple[int, int, Hashable]] = []
+        self._tiebreak = itertools.count()
+        self._processed = 0
+
+    # --------------------------------------------------------------- update
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def processed(self) -> int:
+        """Total number of stream items offered so far."""
+        return self._processed
+
+    def offer(self, item: Hashable) -> tuple[Hashable | None, bool]:
+        """Process one stream item.
+
+        Returns ``(replaced_item, is_tracked_now)`` where ``replaced_item`` is
+        the item whose slot was recycled (or ``None``), letting callers reset
+        any side statistics they keep for evicted items.
+        """
+        self._processed += 1
+        entry = self._items.get(item)
+        if entry is not None:
+            entry.count += 1
+            heapq.heappush(self._heap, (entry.count, next(self._tiebreak), item))
+            return None, True
+        if len(self._items) < self._k:
+            entry = TrackedItem(item=item, count=1, error=0)
+            self._items[item] = entry
+            heapq.heappush(self._heap, (1, next(self._tiebreak), item))
+            return None, True
+        victim = self._pop_min()
+        min_count = self._items[victim].count
+        del self._items[victim]
+        entry = TrackedItem(item=item, count=min_count + 1, error=min_count)
+        self._items[item] = entry
+        heapq.heappush(self._heap, (entry.count, next(self._tiebreak), item))
+        return victim, True
+
+    def _pop_min(self) -> Hashable:
+        """Pop and return the currently tracked item with the minimum count."""
+        while self._heap:
+            count, _tiebreak, item = heapq.heappop(self._heap)
+            entry = self._items.get(item)
+            if entry is not None and entry.count == count:
+                return item
+        raise RuntimeError("Space-Saving heap exhausted")  # pragma: no cover
+
+    # ------------------------------------------------------------ reporting
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, item: Hashable) -> TrackedItem | None:
+        return self._items.get(item)
+
+    def tracked(self) -> Mapping[Hashable, TrackedItem]:
+        """All currently tracked items and their counters."""
+        return dict(self._items)
+
+    def top(self, n: int | None = None) -> list[TrackedItem]:
+        """Tracked items sorted by estimated frequency (descending)."""
+        entries = sorted(self._items.values(), key=lambda e: e.count, reverse=True)
+        return entries if n is None else entries[:n]
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._heap.clear()
+        self._processed = 0
+
+
+class SpaceSavingTracker(HintStatsTracker):
+    """Hint-set statistics bounded to ``k`` hint sets (paper Section 5).
+
+    * ``N(H)``  — the Space-Saving frequency estimate minus its error bound;
+    * ``Nr(H)`` — read re-references observed *while H is tracked*;
+    * ``D(H)``  — mean distance of exactly those re-references.
+
+    Untracked hint sets contribute nothing and have priority zero.
+    """
+
+    def __init__(self, k: int):
+        self._summary = SpaceSaving(k)
+        # Side statistics only for currently tracked hint sets.
+        self._side: dict[tuple, HintSetStats] = {}
+
+    @property
+    def k(self) -> int:
+        return self._summary.k
+
+    def record_request(self, hint_key: tuple) -> None:
+        replaced, _ = self._summary.offer(hint_key)
+        if replaced is not None:
+            # The replaced hint set's slot is recycled: drop its side stats.
+            self._side.pop(replaced, None)
+        if hint_key not in self._side:
+            self._side[hint_key] = HintSetStats()
+
+    def record_read_rereference(self, hint_key: tuple, distance: int) -> None:
+        if distance <= 0:
+            raise ValueError(f"re-reference distance must be positive, got {distance}")
+        # Only counted while the hint set is tracked (paper Section 5).
+        if hint_key not in self._summary:
+            return
+        stats = self._side.setdefault(hint_key, HintSetStats())
+        stats.read_rereferences += 1
+        stats.distance_total += distance
+
+    def snapshot(self) -> Mapping[tuple, HintSetStats]:
+        result: dict[tuple, HintSetStats] = {}
+        for key, tracked in self._summary.tracked().items():
+            side = self._side.get(key, HintSetStats())
+            result[key] = HintSetStats(
+                requests=max(tracked.guaranteed_count, 0),
+                read_rereferences=side.read_rereferences,
+                distance_total=side.distance_total,
+            )
+        return result
+
+    def clear(self) -> None:
+        self._summary.clear()
+        self._side.clear()
+
+    def __len__(self) -> int:
+        return len(self._summary)

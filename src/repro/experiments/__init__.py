@@ -1,0 +1,53 @@
+"""One entry point per table/figure of the paper's evaluation (plus ablations)."""
+
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.experiments.hint_priorities import run_hint_priority_scatter
+from repro.experiments.multiclient import MultiClientResult, run_multiclient_experiment
+from repro.experiments.noise import run_noise_experiment
+from repro.experiments.policies import (
+    FIGURE6_TRACES,
+    FIGURE7_TRACES,
+    FIGURE8_TRACES,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_policy_comparison,
+)
+from repro.experiments.registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
+from repro.experiments.schemas_table import run_hint_schema_table
+from repro.experiments.topk import run_topk_experiment
+from repro.experiments.traces_table import run_trace_table
+from repro.experiments.ablations import (
+    run_decay_ablation,
+    run_metadata_charge_ablation,
+    run_outqueue_ablation,
+    run_window_ablation,
+)
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "ExperimentSettings",
+    "generate_trace",
+    "run_hint_priority_scatter",
+    "MultiClientResult",
+    "run_multiclient_experiment",
+    "run_noise_experiment",
+    "FIGURE6_TRACES",
+    "FIGURE7_TRACES",
+    "FIGURE8_TRACES",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_policy_comparison",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_hint_schema_table",
+    "run_topk_experiment",
+    "run_trace_table",
+    "run_window_ablation",
+    "run_decay_ablation",
+    "run_outqueue_ablation",
+    "run_metadata_charge_ablation",
+]

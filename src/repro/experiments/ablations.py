@@ -1,0 +1,105 @@
+"""Ablations over CLIC's design parameters (not figures in the paper).
+
+The paper fixes ``W = 10^6``, ``r = 1`` and ``Noutq = 5`` entries per cached
+page; these ablations sweep each knob to show how sensitive the scaled
+reproduction is to them, and quantify the cost of charging CLIC for its
+metadata (Section 6.1's ~1% cache-size reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.clic import CLICPolicy
+from repro.core.config import CLICConfig
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.simulation.metrics import SweepResult
+from repro.simulation.simulator import CacheSimulator
+from repro.workloads.standard import clic_window_for
+
+__all__ = [
+    "run_window_ablation",
+    "run_decay_ablation",
+    "run_outqueue_ablation",
+    "run_metadata_charge_ablation",
+]
+
+
+def _run_clic(requests, cache_size: int, config: CLICConfig):
+    return CacheSimulator(CLICPolicy(capacity=cache_size, config=config)).run(requests)
+
+
+def run_window_ablation(
+    trace_name: str = "DB2_C300",
+    cache_size: int = 3_600,
+    window_sizes: Sequence[int] = (1_000, 2_000, 5_000, 10_000, 20_000),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SweepResult:
+    """Sensitivity of the hit ratio to the statistics window W (Section 3.2)."""
+    trace = generate_trace(trace_name, settings)
+    requests = trace.requests()
+    sweep = SweepResult(parameter="window_size")
+    for window in window_sizes:
+        config = CLICConfig(window_size=window, decay=settings.decay, outqueue_factor=settings.outqueue_factor)
+        sweep.add(trace_name, float(window), _run_clic(requests, cache_size, config))
+    return sweep
+
+
+def run_decay_ablation(
+    trace_name: str = "DB2_C300",
+    cache_size: int = 3_600,
+    decays: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SweepResult:
+    """Sensitivity to the exponential-smoothing weight r (Equation 3)."""
+    trace = generate_trace(trace_name, settings)
+    requests = trace.requests()
+    window = clic_window_for(settings.target_requests)
+    sweep = SweepResult(parameter="decay")
+    for decay in decays:
+        config = CLICConfig(window_size=window, decay=decay, outqueue_factor=settings.outqueue_factor)
+        sweep.add(trace_name, float(decay), _run_clic(requests, cache_size, config))
+    return sweep
+
+
+def run_outqueue_ablation(
+    trace_name: str = "DB2_C300",
+    cache_size: int = 3_600,
+    outqueue_factors: Sequence[float] = (0.0, 1.0, 2.0, 5.0, 10.0),
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SweepResult:
+    """Sensitivity to the outqueue size Noutq (Section 3.1).
+
+    With no outqueue CLIC only detects re-references of cached pages, so it
+    systematically under-estimates ``Nr(H)`` for hint sets it is not already
+    caching — this ablation shows what that costs.
+    """
+    trace = generate_trace(trace_name, settings)
+    requests = trace.requests()
+    window = clic_window_for(settings.target_requests)
+    sweep = SweepResult(parameter="outqueue_factor")
+    for factor in outqueue_factors:
+        config = CLICConfig(window_size=window, decay=settings.decay, outqueue_factor=factor)
+        sweep.add(trace_name, float(factor), _run_clic(requests, cache_size, config))
+    return sweep
+
+
+def run_metadata_charge_ablation(
+    trace_name: str = "DB2_C300",
+    cache_size: int = 3_600,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SweepResult:
+    """Cost of paying for CLIC's metadata out of the cache (Section 6.1)."""
+    trace = generate_trace(trace_name, settings)
+    requests = trace.requests()
+    window = clic_window_for(settings.target_requests)
+    sweep = SweepResult(parameter="charge_metadata")
+    for charged in (False, True):
+        config = CLICConfig(
+            window_size=window,
+            decay=settings.decay,
+            outqueue_factor=settings.outqueue_factor,
+            charge_metadata=charged,
+        )
+        sweep.add(trace_name, float(charged), _run_clic(requests, cache_size, config))
+    return sweep

@@ -1,0 +1,110 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Usage (after installing the package)::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli fig6 --requests 60000
+    python -m repro.experiments.cli fig9 fig10 --requests 30000 --csv-dir out/
+
+Each experiment prints the same rows/series recorded in ``EXPERIMENTS.md``;
+``--csv-dir`` additionally writes one CSV per experiment for re-plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.reporting import rows_to_csv, rows_to_table
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.multiclient import MultiClientResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.simulation.metrics import SweepResult
+
+__all__ = ["main", "build_parser", "render_result"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the CLIC paper (FAST '09).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiment ids to run (available: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=60_000,
+        help="storage-server requests per generated trace (default: 60000)",
+    )
+    parser.add_argument("--seed", type=int, default=17, help="workload seed (default: 17)")
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="directory to write one CSV per experiment (created if missing)",
+    )
+    return parser
+
+
+def render_result(experiment_id: str, result) -> tuple[str, list[dict]]:
+    """Render an experiment's return value as (text, rows-for-csv)."""
+    if isinstance(result, SweepResult):
+        return result.to_table(), result.as_rows()
+    if isinstance(result, MultiClientResult):
+        rows = result.as_rows()
+        return rows_to_table(rows), rows
+    if isinstance(result, dict):
+        # Figures 6-8 return {trace name: SweepResult}.
+        blocks = []
+        rows: list[dict] = []
+        for name, sweep in result.items():
+            blocks.append(f"[{name}]\n{sweep.to_table()}")
+            for row in sweep.as_rows():
+                rows.append({"trace": name, **row})
+        return "\n\n".join(blocks), rows
+    if isinstance(result, list):
+        return rows_to_table(result), result
+    return str(result), []
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            experiment = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:<14} {experiment.paper_artifact:<10} {experiment.description}")
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (use --list to see what is available)")
+
+    settings = ExperimentSettings(target_requests=args.requests, seed=args.seed)
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in args.experiments:
+        experiment = get_experiment(experiment_id)
+        print(f"\n### {experiment.paper_artifact}: {experiment.description}")
+        if experiment_id == "fig2":
+            result = experiment.runner()
+        else:
+            result = experiment.runner(settings=settings)
+        text, rows = render_result(experiment_id, result)
+        print(text)
+        if args.csv_dir is not None and rows:
+            path = rows_to_csv(rows, args.csv_dir / f"{experiment_id}.csv")
+            print(f"(wrote {path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Shared plumbing for the per-figure experiments.
+
+Every experiment generates one or more of the standard traces, runs one or
+more policies over them and reports read hit ratios.  This module centralises
+the defaults (how long the generated traces are, how CLIC is configured for a
+given trace length) so the figure modules stay small and consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.registry import PAPER_POLICIES
+from repro.core.config import CLICConfig
+from repro.trace.records import Trace
+from repro.workloads.standard import clic_window_for, standard_trace
+
+__all__ = ["ExperimentSettings", "clic_kwargs", "generate_trace", "DEFAULT_SETTINGS"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiments.
+
+    ``target_requests`` trades fidelity for runtime: the paper's traces are
+    millions of requests long; the default here keeps a full figure
+    regeneration in the minutes range on a laptop while preserving the
+    qualitative shapes.  Increase it for closer-to-paper curves.
+    """
+
+    target_requests: int = 60_000
+    seed: int = 17
+    policies: tuple[str, ...] = PAPER_POLICIES
+    decay: float = 1.0               # the paper's r
+    outqueue_factor: float = 5.0     # the paper's Noutq (entries per cache page)
+    top_k: int | None = None         # None = exact hint table (Sections 3-4)
+
+    def clic_config(self, top_k: int | None = None, window_size: int | None = None) -> CLICConfig:
+        """CLIC configuration matching the paper's settings, scaled to the trace length."""
+        return CLICConfig(
+            window_size=window_size or clic_window_for(self.target_requests),
+            decay=self.decay,
+            outqueue_factor=self.outqueue_factor,
+            top_k=self.top_k if top_k is None else top_k,
+        )
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: Cache of generated traces keyed by (name, seed, target_requests, client_id)
+#: so that a figure touching the same trace at several cache sizes only pays
+#: the generation cost once per process.
+_TRACE_CACHE: dict[tuple, Trace] = {}
+
+
+def generate_trace(
+    name: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    client_id: str | None = None,
+    use_cache: bool = True,
+) -> Trace:
+    """Generate (or fetch from the in-process cache) one standard trace."""
+    key = (name, settings.seed, settings.target_requests, client_id)
+    if use_cache and key in _TRACE_CACHE:
+        return _TRACE_CACHE[key]
+    trace = standard_trace(
+        name,
+        seed=settings.seed,
+        target_requests=settings.target_requests,
+        client_id=client_id,
+    )
+    if use_cache:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clic_kwargs(settings: ExperimentSettings, top_k: int | None = None) -> dict:
+    """Keyword arguments for constructing CLIC through the policy registry."""
+    return {"config": settings.clic_config(top_k=top_k)}
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (mainly for tests)."""
+    _TRACE_CACHE.clear()

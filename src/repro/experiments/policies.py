@@ -1,0 +1,84 @@
+"""Figures 6, 7 and 8: read hit ratio versus server cache size, per policy.
+
+The paper sweeps the storage-server cache size and plots the read hit ratio
+of OPT, LRU, ARC, TQ and CLIC for each trace family:
+
+* Figure 6 — DB2 TPC-C traces (DB2_C60, DB2_C300, DB2_C540);
+* Figure 7 — DB2 TPC-H traces (DB2_H80, DB2_H400, DB2_H720);
+* Figure 8 — MySQL TPC-H traces (MY_H65, MY_H98).
+
+Each figure is a family of per-trace sweeps; this module produces them as
+:class:`~repro.simulation.metrics.SweepResult` objects keyed by trace name.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    clic_kwargs,
+    generate_trace,
+)
+from repro.simulation.metrics import SweepResult
+from repro.simulation.sweep import sweep_cache_sizes
+from repro.workloads.standard import server_cache_sizes
+
+__all__ = [
+    "FIGURE6_TRACES",
+    "FIGURE7_TRACES",
+    "FIGURE8_TRACES",
+    "run_policy_comparison",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+]
+
+FIGURE6_TRACES: tuple[str, ...] = ("DB2_C60", "DB2_C300", "DB2_C540")
+FIGURE7_TRACES: tuple[str, ...] = ("DB2_H80", "DB2_H400", "DB2_H720")
+FIGURE8_TRACES: tuple[str, ...] = ("MY_H65", "MY_H98")
+
+
+def run_policy_comparison(
+    trace_names: Sequence[str],
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    cache_sizes: Sequence[int] | None = None,
+) -> dict[str, SweepResult]:
+    """Sweep server cache sizes for every policy over each named trace."""
+    results: dict[str, SweepResult] = {}
+    policy_kwargs: Mapping[str, Mapping[str, object]] = {"CLIC": clic_kwargs(settings)}
+    for name in trace_names:
+        trace = generate_trace(name, settings)
+        sizes = list(cache_sizes) if cache_sizes is not None else server_cache_sizes(name)
+        results[name] = sweep_cache_sizes(
+            trace.requests(),
+            cache_sizes=sizes,
+            policies=settings.policies,
+            policy_kwargs=policy_kwargs,
+        )
+    return results
+
+
+def run_figure6(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    cache_sizes: Sequence[int] | None = None,
+) -> dict[str, SweepResult]:
+    """Figure 6: the DB2 TPC-C trace family."""
+    return run_policy_comparison(FIGURE6_TRACES, settings, cache_sizes)
+
+
+def run_figure7(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    cache_sizes: Sequence[int] | None = None,
+) -> dict[str, SweepResult]:
+    """Figure 7: the DB2 TPC-H trace family."""
+    return run_policy_comparison(FIGURE7_TRACES, settings, cache_sizes)
+
+
+def run_figure8(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    cache_sizes: Sequence[int] | None = None,
+) -> dict[str, SweepResult]:
+    """Figure 8: the MySQL TPC-H trace family."""
+    return run_policy_comparison(FIGURE8_TRACES, settings, cache_sizes)

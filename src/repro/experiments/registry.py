@@ -1,0 +1,122 @@
+"""Experiment registry: one entry per table/figure of the paper's evaluation.
+
+Maps experiment identifiers (``fig2`` ... ``fig11``, plus the ablations) to
+the callables that regenerate them, so benchmarks, examples and command-line
+use all share one source of truth.  The mapping mirrors the experiment index
+in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import ablations, hint_priorities, multiclient, noise, policies
+from repro.experiments import schemas_table, topk, traces_table
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper's evaluation."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig2": Experiment(
+        "fig2",
+        "Figure 2",
+        "Hint types of the DB2-like and MySQL-like clients with domain cardinalities.",
+        schemas_table.run_hint_schema_table,
+    ),
+    "fig3": Experiment(
+        "fig3",
+        "Figure 3",
+        "Hint-set caching priority vs. frequency scatter for the DB2_C60 trace.",
+        hint_priorities.run_hint_priority_scatter,
+    ),
+    "fig5": Experiment(
+        "fig5",
+        "Figure 5",
+        "Summary table of the standard (scaled) I/O request traces.",
+        traces_table.run_trace_table,
+    ),
+    "fig6": Experiment(
+        "fig6",
+        "Figure 6",
+        "Read hit ratio vs. server cache size, DB2 TPC-C traces, all policies.",
+        policies.run_figure6,
+    ),
+    "fig7": Experiment(
+        "fig7",
+        "Figure 7",
+        "Read hit ratio vs. server cache size, DB2 TPC-H traces, all policies.",
+        policies.run_figure7,
+    ),
+    "fig8": Experiment(
+        "fig8",
+        "Figure 8",
+        "Read hit ratio vs. server cache size, MySQL TPC-H traces, all policies.",
+        policies.run_figure8,
+    ),
+    "fig9": Experiment(
+        "fig9",
+        "Figure 9",
+        "Effect of top-k hint-set filtering on CLIC's read hit ratio.",
+        topk.run_topk_experiment,
+    ),
+    "fig10": Experiment(
+        "fig10",
+        "Figure 10",
+        "Effect of injected noise hint types on CLIC's read hit ratio (k=100).",
+        noise.run_noise_experiment,
+    ),
+    "fig11": Experiment(
+        "fig11",
+        "Figure 11",
+        "Three DB2 clients sharing one CLIC cache vs. equal static partitioning.",
+        multiclient.run_multiclient_experiment,
+    ),
+    "abl-window": Experiment(
+        "abl-window",
+        "ablation",
+        "Sensitivity to the statistics window size W.",
+        ablations.run_window_ablation,
+    ),
+    "abl-decay": Experiment(
+        "abl-decay",
+        "ablation",
+        "Sensitivity to the exponential smoothing weight r.",
+        ablations.run_decay_ablation,
+    ),
+    "abl-outqueue": Experiment(
+        "abl-outqueue",
+        "ablation",
+        "Sensitivity to the outqueue size Noutq.",
+        ablations.run_outqueue_ablation,
+    ),
+    "abl-metadata": Experiment(
+        "abl-metadata",
+        "ablation",
+        "Cost of charging CLIC's tracking metadata against the cache.",
+        ablations.run_metadata_charge_ablation,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (raises ``KeyError`` with the known ids)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)

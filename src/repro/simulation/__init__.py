@@ -1,0 +1,38 @@
+"""Trace-driven simulation of the storage-server cache."""
+
+from repro.simulation.metrics import SimulationResult, SweepPoint, SweepResult, format_table
+from repro.simulation.multiclient import (
+    interleave_round_robin,
+    partition_capacity,
+    remap_pages,
+)
+from repro.simulation.request import IORequest, RequestKind, read_request, write_request
+from repro.simulation.simulator import CacheSimulator, simulate
+from repro.simulation.sweep import (
+    compare_policies,
+    run_policy,
+    sweep_cache_sizes,
+    sweep_policy_parameter,
+    sweep_top_k,
+)
+
+__all__ = [
+    "IORequest",
+    "RequestKind",
+    "read_request",
+    "write_request",
+    "CacheSimulator",
+    "simulate",
+    "SimulationResult",
+    "SweepPoint",
+    "SweepResult",
+    "format_table",
+    "interleave_round_robin",
+    "partition_capacity",
+    "remap_pages",
+    "compare_policies",
+    "run_policy",
+    "sweep_cache_sizes",
+    "sweep_policy_parameter",
+    "sweep_top_k",
+]

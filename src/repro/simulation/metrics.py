@@ -1,0 +1,130 @@
+"""Result containers for simulation runs and parameter sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cache.base import CacheStats
+
+__all__ = ["SimulationResult", "SweepPoint", "SweepResult", "format_table"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of driving one policy over one request stream."""
+
+    policy_name: str
+    capacity: int
+    stats: CacheStats
+    per_client: dict[str, CacheStats] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def read_hit_ratio(self) -> float:
+        return self.stats.read_hit_ratio
+
+    @property
+    def requests(self) -> int:
+        return self.stats.requests
+
+    def client_read_hit_ratio(self, client_id: str) -> float:
+        """Read hit ratio restricted to one client's requests (Section 6.4)."""
+        stats = self.per_client.get(client_id)
+        return 0.0 if stats is None else stats.read_hit_ratio
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy_name,
+            "capacity": self.capacity,
+            "read_hit_ratio": self.read_hit_ratio,
+            "elapsed_seconds": self.elapsed_seconds,
+            **self.stats.as_dict(),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy_name}(capacity={self.capacity}): "
+            f"read hit ratio {self.read_hit_ratio:.2%} "
+            f"({self.stats.read_hits}/{self.stats.read_requests} reads)"
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, result) sample of a parameter sweep."""
+
+    x: float
+    result: SimulationResult
+
+    @property
+    def read_hit_ratio(self) -> float:
+        return self.result.read_hit_ratio
+
+
+@dataclass
+class SweepResult:
+    """A family of sweep curves, one per policy (or per configuration label)."""
+
+    parameter: str
+    series: dict[str, list[SweepPoint]] = field(default_factory=dict)
+
+    def add(self, label: str, x: float, result: SimulationResult) -> None:
+        self.series.setdefault(label, []).append(SweepPoint(x=x, result=result))
+
+    def labels(self) -> list[str]:
+        return list(self.series)
+
+    def xs(self, label: str) -> list[float]:
+        return [point.x for point in self.series[label]]
+
+    def hit_ratios(self, label: str) -> list[float]:
+        return [point.read_hit_ratio for point in self.series[label]]
+
+    def curve(self, label: str) -> list[tuple[float, float]]:
+        """The (x, read hit ratio) samples for one series."""
+        return [(point.x, point.read_hit_ratio) for point in self.series[label]]
+
+    def as_rows(self) -> list[dict]:
+        """Flatten into rows suitable for CSV output or tabular printing."""
+        rows = []
+        for label, points in self.series.items():
+            for point in points:
+                rows.append(
+                    {
+                        "series": label,
+                        self.parameter: point.x,
+                        "read_hit_ratio": point.read_hit_ratio,
+                    }
+                )
+        return rows
+
+    def to_table(self) -> str:
+        """Render as a text table: one row per x value, one column per series."""
+        xs = sorted({point.x for points in self.series.values() for point in points})
+        labels = self.labels()
+        header = [self.parameter] + labels
+        rows: list[list[str]] = []
+        lookup = {
+            (label, point.x): point.read_hit_ratio
+            for label, points in self.series.items()
+            for point in points
+        }
+        for x in xs:
+            row = [f"{x:g}"]
+            for label in labels:
+                value = lookup.get((label, x))
+                row.append("-" if value is None else f"{value:.2%}")
+            rows.append(row)
+        return format_table(header, rows)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(header, *rows)] if rows else [[h] for h in header]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

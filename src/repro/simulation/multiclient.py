@@ -1,0 +1,91 @@
+"""Multi-client request streams (paper Section 6.4).
+
+The paper evaluates CLIC with several DB2 instances sharing one storage
+server: the per-client traces are interleaved round-robin, one request from
+each trace in turn, and all traces are truncated to the length of the
+shortest so no client dominates by sheer length.  Each client manages its own
+database, so page identifiers of different clients never collide; this module
+remaps page ids into disjoint ranges to guarantee that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulation.request import IORequest
+
+__all__ = ["remap_pages", "interleave_round_robin", "partition_capacity"]
+
+
+def remap_pages(requests: Sequence[IORequest], offset: int) -> list[IORequest]:
+    """Return a copy of *requests* with every page id shifted by *offset*."""
+    return [
+        IORequest(
+            page=request.page + offset,
+            kind=request.kind,
+            hints=request.hints,
+            client_id=request.client_id,
+        )
+        for request in requests
+    ]
+
+
+def interleave_round_robin(
+    traces: Sequence[Sequence[IORequest]],
+    truncate: bool = True,
+    page_stride: int | None = None,
+) -> list[IORequest]:
+    """Interleave several client traces round-robin into one server workload.
+
+    Parameters
+    ----------
+    traces:
+        One request sequence per client.
+    truncate:
+        Truncate every trace to the length of the shortest one (the paper does
+        this to eliminate bias towards longer traces).
+    page_stride:
+        Distance between the page-id ranges assigned to consecutive clients.
+        ``None`` derives a safe stride from the largest page id observed.
+    """
+    if not traces:
+        return []
+    if any(len(trace) == 0 for trace in traces):
+        raise ValueError("cannot interleave an empty trace")
+
+    if page_stride is None:
+        max_page = max(request.page for trace in traces for request in trace)
+        page_stride = max_page + 1
+
+    length = min(len(trace) for trace in traces) if truncate else max(len(trace) for trace in traces)
+    interleaved: list[IORequest] = []
+    for position in range(length):
+        for index, trace in enumerate(traces):
+            if position >= len(trace):
+                continue
+            request = trace[position]
+            interleaved.append(
+                IORequest(
+                    page=request.page + index * page_stride,
+                    kind=request.kind,
+                    hints=request.hints,
+                    client_id=request.client_id,
+                )
+            )
+    return interleaved
+
+
+def partition_capacity(total: int, clients: int) -> list[int]:
+    """Split a cache of *total* pages evenly among *clients* (static partitioning).
+
+    Used for the comparison baseline in Figure 11: each client gets a private
+    cache of ``total // clients`` pages (any remainder goes to the first
+    clients so the sum equals ``total``).
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if total < clients:
+        raise ValueError(f"cannot split {total} pages among {clients} clients")
+    base = total // clients
+    remainder = total % clients
+    return [base + (1 if i < remainder else 0) for i in range(clients)]

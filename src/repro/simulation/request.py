@@ -1,0 +1,75 @@
+"""I/O request model shared by all cache policies and the simulator.
+
+The storage server's workload is a sequence of block I/O requests from one or
+more clients (paper Section 2).  Each request names a page, is either a read
+or a write, and may carry a hint set.  The server assigns a sequence number to
+every request it receives; CLIC's re-reference analysis is expressed in terms
+of these sequence numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.hints import EMPTY_HINT_SET, HintSet
+
+__all__ = ["RequestKind", "IORequest", "read_request", "write_request"]
+
+
+class RequestKind(enum.Enum):
+    """Whether an I/O request is a read or a write."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class IORequest:
+    """One block I/O request as seen by the storage server.
+
+    Attributes
+    ----------
+    page:
+        Page (block) identifier.  Pages from different clients must use
+        disjoint identifiers; the multi-client interleaver takes care of
+        remapping page ids into disjoint ranges.
+    kind:
+        Read or write.
+    hints:
+        The hint set attached by the client.  Hint-oblivious traces use
+        :data:`~repro.core.hints.EMPTY_HINT_SET`.
+    client_id:
+        Identifier of the storage client that issued the request.  Defaults to
+        the hint set's client id.
+    """
+
+    page: int
+    kind: RequestKind
+    hints: HintSet = EMPTY_HINT_SET
+    client_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.client_id == "" and self.hints.client_id:
+            object.__setattr__(self, "client_id", self.hints.client_id)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is RequestKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is RequestKind.WRITE
+
+
+def read_request(page: int, hints: HintSet = EMPTY_HINT_SET, client_id: str = "") -> IORequest:
+    """Convenience constructor for a read request."""
+    return IORequest(page=page, kind=RequestKind.READ, hints=hints, client_id=client_id)
+
+
+def write_request(page: int, hints: HintSet = EMPTY_HINT_SET, client_id: str = "") -> IORequest:
+    """Convenience constructor for a write request."""
+    return IORequest(page=page, kind=RequestKind.WRITE, hints=hints, client_id=client_id)

@@ -1,0 +1,122 @@
+"""Parameter sweeps: the workhorse behind every figure in the evaluation.
+
+The paper's figures are families of curves: read hit ratio as a function of
+the server cache size (Figures 6-8), of the number of tracked hint sets ``k``
+(Figure 9), or of the number of injected noise hint types ``T`` (Figure 10).
+This module provides the generic sweep driver plus the two specialised sweeps
+that need to rebuild the policy with different CLIC configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.cache.base import CachePolicy
+from repro.cache.registry import create_policy
+from repro.core.clic import CLICPolicy
+from repro.core.config import CLICConfig
+from repro.simulation.metrics import SimulationResult, SweepResult
+from repro.simulation.request import IORequest
+from repro.simulation.simulator import CacheSimulator
+
+__all__ = [
+    "run_policy",
+    "compare_policies",
+    "sweep_cache_sizes",
+    "sweep_top_k",
+    "sweep_policy_parameter",
+]
+
+
+def run_policy(
+    policy_name: str,
+    requests: Sequence[IORequest],
+    capacity: int,
+    policy_kwargs: Mapping[str, object] | None = None,
+) -> SimulationResult:
+    """Instantiate *policy_name* with *capacity* and replay *requests* through it."""
+    policy = create_policy(policy_name, capacity=capacity, **dict(policy_kwargs or {}))
+    return CacheSimulator(policy).run(requests)
+
+
+def compare_policies(
+    requests: Sequence[IORequest],
+    capacity: int,
+    policies: Iterable[str],
+    policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
+) -> dict[str, SimulationResult]:
+    """Run each policy over the same request stream at one cache size."""
+    policy_kwargs = policy_kwargs or {}
+    results: dict[str, SimulationResult] = {}
+    for name in policies:
+        results[name] = run_policy(
+            name, requests, capacity, policy_kwargs.get(name, {})
+        )
+    return results
+
+
+def sweep_cache_sizes(
+    requests: Sequence[IORequest],
+    cache_sizes: Sequence[int],
+    policies: Iterable[str],
+    policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
+) -> SweepResult:
+    """Read hit ratio as a function of server cache size (Figures 6-8)."""
+    policies = list(policies)
+    policy_kwargs = policy_kwargs or {}
+    sweep = SweepResult(parameter="cache_size")
+    for capacity in cache_sizes:
+        for name in policies:
+            result = run_policy(name, requests, capacity, policy_kwargs.get(name, {}))
+            sweep.add(name, capacity, result)
+    return sweep
+
+
+def sweep_top_k(
+    requests: Sequence[IORequest],
+    capacity: int,
+    k_values: Sequence[int | None],
+    base_config: CLICConfig | None = None,
+    label_for: Callable[[int | None], str] | None = None,
+) -> SweepResult:
+    """CLIC read hit ratio as a function of the number of tracked hint sets ``k``.
+
+    ``None`` in *k_values* means "track all hint sets" (the exact hint table),
+    which the paper uses as the reference point for Figure 9.
+    """
+    base = base_config or CLICConfig()
+    sweep = SweepResult(parameter="k")
+    label_for = label_for or (lambda k: "CLIC")
+    for k in k_values:
+        config = CLICConfig(
+            window_size=base.window_size,
+            decay=base.decay,
+            outqueue_factor=base.outqueue_factor,
+            top_k=k,
+            charge_metadata=base.charge_metadata,
+            metadata_bytes_per_page=base.metadata_bytes_per_page,
+            page_size_bytes=base.page_size_bytes,
+        )
+        policy = CLICPolicy(capacity=capacity, config=config)
+        result = CacheSimulator(policy).run(requests)
+        x = float(len({r.hints.key() for r in requests})) if k is None else float(k)
+        sweep.add(label_for(k), x, result)
+    return sweep
+
+
+def sweep_policy_parameter(
+    requests: Sequence[IORequest],
+    capacity: int,
+    parameter: str,
+    values: Sequence[object],
+    make_policy: Callable[[object, int], CachePolicy],
+    label: str = "CLIC",
+) -> SweepResult:
+    """Generic single-policy parameter sweep (used by the ablation benches)."""
+    sweep = SweepResult(parameter=parameter)
+    for value in values:
+        policy = make_policy(value, capacity)
+        result = CacheSimulator(policy).run(requests)
+        x = float(value) if isinstance(value, (int, float)) else float(len(sweep.series.get(label, [])))
+        sweep.add(label, x, result)
+    return sweep

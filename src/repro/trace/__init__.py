@@ -1,0 +1,38 @@
+"""Hint schemas, trace containers, serialization and trace statistics."""
+
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.noise import ZipfSampler, inject_noise_hints, inject_noise_into_trace
+from repro.trace.records import Trace, TraceSummary
+from repro.trace.schema import (
+    DB2_HINT_NAMES,
+    MYSQL_HINT_NAMES,
+    RequestType,
+    db2_schema,
+    mysql_schema,
+)
+from repro.trace.stats import (
+    ReuseProfile,
+    hint_set_frequencies,
+    request_type_mix,
+    reuse_distance_profile,
+)
+
+__all__ = [
+    "Trace",
+    "TraceSummary",
+    "TraceFormatError",
+    "read_trace",
+    "write_trace",
+    "ZipfSampler",
+    "inject_noise_hints",
+    "inject_noise_into_trace",
+    "RequestType",
+    "DB2_HINT_NAMES",
+    "MYSQL_HINT_NAMES",
+    "db2_schema",
+    "mysql_schema",
+    "ReuseProfile",
+    "hint_set_frequencies",
+    "request_type_mix",
+    "reuse_distance_profile",
+]

@@ -1,0 +1,118 @@
+"""Trace serialization.
+
+Traces are stored in a simple line-oriented text format so they can be
+inspected, diffed and filtered with ordinary tools:
+
+* header lines starting with ``#meta`` carry JSON metadata key/value pairs;
+* ``#hintset <id> <json>`` lines define each distinct hint set once, keyed by
+  a small integer, with the JSON carrying ``client``, ``names`` and ``values``;
+* every remaining line is one request: ``<R|W> <page> <hintset id>``.
+
+Dictionary-encoding the hint sets keeps files compact (a trace usually has
+millions of requests but only tens or hundreds of distinct hint sets — that
+skew is exactly what Section 5 of the paper exploits).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.hints import EMPTY_HINT_SET, HintSet
+from repro.simulation.request import IORequest, RequestKind
+from repro.trace.records import Trace
+
+__all__ = ["write_trace", "read_trace", "TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def _encode_hint_set(hints: HintSet) -> str:
+    return json.dumps(
+        {"client": hints.client_id, "names": list(hints.names), "values": list(hints.values)},
+        separators=(",", ":"),
+    )
+
+
+def _decode_hint_set(payload: str) -> HintSet:
+    try:
+        data = json.loads(payload)
+        return HintSet(
+            client_id=data["client"],
+            names=tuple(data["names"]),
+            values=tuple(data["values"]),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed hint set definition: {payload!r}") from exc
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Write *trace* to *path* in the text trace format."""
+    path = Path(path)
+    hint_ids: dict[tuple, int] = {}
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"#meta {json.dumps({'name': trace.name, **trace.metadata}, default=str)}\n")
+        for request in trace:
+            key = request.hints.key()
+            hint_id = hint_ids.get(key)
+            if hint_id is None:
+                hint_id = len(hint_ids)
+                hint_ids[key] = hint_id
+                handle.write(f"#hintset {hint_id} {_encode_hint_set(request.hints)}\n")
+            kind = "R" if request.is_read else "W"
+            handle.write(f"{kind} {request.page} {hint_id}\n")
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _parse_trace(handle, default_name=path.stem)
+
+
+def _parse_trace(handle: TextIO, default_name: str) -> Trace:
+    name = default_name
+    metadata: dict = {}
+    hint_sets: dict[int, HintSet] = {}
+    requests: list[IORequest] = []
+    for line_number, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#meta "):
+            payload = json.loads(line[len("#meta "):])
+            name = payload.pop("name", name)
+            metadata.update(payload)
+            continue
+        if line.startswith("#hintset "):
+            try:
+                _, hint_id_text, payload = line.split(" ", 2)
+                hint_sets[int(hint_id_text)] = _decode_hint_set(payload)
+            except ValueError as exc:
+                raise TraceFormatError(f"line {line_number}: bad hint set line") from exc
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceFormatError(f"line {line_number}: expected 'kind page hintset', got {line!r}")
+        kind_text, page_text, hint_id_text = parts
+        if kind_text not in ("R", "W"):
+            raise TraceFormatError(f"line {line_number}: unknown request kind {kind_text!r}")
+        try:
+            page = int(page_text)
+            hint_id = int(hint_id_text)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: non-integer field") from exc
+        hints = hint_sets.get(hint_id, EMPTY_HINT_SET) if hint_id >= 0 else EMPTY_HINT_SET
+        if hint_id >= 0 and hint_id not in hint_sets:
+            raise TraceFormatError(f"line {line_number}: undefined hint set id {hint_id}")
+        requests.append(
+            IORequest(
+                page=page,
+                kind=RequestKind.READ if kind_text == "R" else RequestKind.WRITE,
+                hints=hints,
+            )
+        )
+    return Trace(name=name, requests_list=requests, metadata=metadata)

@@ -1,0 +1,130 @@
+"""Hint schemas for the DB2-like and MySQL-like storage clients (paper Figure 2).
+
+The paper instrumented IBM DB2 to emit five hint types and MySQL to emit
+four.  The synthetic workload generators in :mod:`repro.workloads` emit the
+same hint types with the same kind of value domains, so the hint streams seen
+by the server have the structure the paper describes.  CLIC itself never
+interprets these values — they are opaque categorical labels.
+"""
+
+from __future__ import annotations
+
+from repro.core.hints import HintSchema, HintType
+
+__all__ = [
+    "RequestType",
+    "DB2_HINT_NAMES",
+    "MYSQL_HINT_NAMES",
+    "db2_schema",
+    "mysql_schema",
+]
+
+
+class RequestType:
+    """Values of the ``request_type`` hint (DB2) / ``request_type`` hint (MySQL).
+
+    For read requests the hint distinguishes regular reads from prefetch
+    reads; for writes it carries the write hints of Li et al. [11]:
+    recovery writes, replacement writes and synchronous (replacement) writes.
+    """
+
+    READ = "read"
+    PREFETCH_READ = "prefetch_read"
+    RECOVERY_WRITE = "recovery_write"
+    REPLACEMENT_WRITE = "replacement_write"
+    SYNCHRONOUS_WRITE = "synchronous_write"
+
+    DB2_VALUES = (READ, PREFETCH_READ, RECOVERY_WRITE, REPLACEMENT_WRITE, SYNCHRONOUS_WRITE)
+    #: MySQL's request-type hint only distinguishes three classes (Figure 2).
+    MYSQL_VALUES = (READ, REPLACEMENT_WRITE, RECOVERY_WRITE)
+
+    WRITE_VALUES = (RECOVERY_WRITE, REPLACEMENT_WRITE, SYNCHRONOUS_WRITE)
+    READ_VALUES = (READ, PREFETCH_READ)
+
+
+#: Hint type names of the DB2-like client, in schema order.
+DB2_HINT_NAMES = ("pool_id", "object_id", "object_type_id", "request_type", "buffer_priority")
+
+#: Hint type names of the MySQL-like client, in schema order.
+MYSQL_HINT_NAMES = ("thread_id", "request_type", "file_id", "fix_count")
+
+
+def db2_schema(
+    client_id: str = "db2",
+    num_pools: int = 2,
+    num_objects: int = 21,
+    num_object_types: int = 6,
+    num_priorities: int = 4,
+) -> HintSchema:
+    """Schema of the five DB2 hint types (paper Figure 2, first five rows).
+
+    The default domain cardinalities match the paper's TPC-C column; the
+    TPC-H configurations pass different values.
+    """
+    return HintSchema(
+        client_id=client_id,
+        hint_types=[
+            HintType(
+                "pool_id",
+                domain=tuple(range(num_pools)),
+                description="Identifies which DB2 buffer pool generated the I/O request.",
+            ),
+            HintType(
+                "object_id",
+                domain=tuple(range(num_objects)),
+                description="Identifies a group of related database objects, such as a table and its indices.",
+            ),
+            HintType(
+                "object_type_id",
+                domain=tuple(range(num_object_types)),
+                description="Identifies the object type (table, index, ...).",
+            ),
+            HintType(
+                "request_type",
+                domain=RequestType.DB2_VALUES,
+                description=(
+                    "Distinguishes regular reads from prefetch reads; for writes carries "
+                    "the write hint (recovery / replacement / synchronous)."
+                ),
+            ),
+            HintType(
+                "buffer_priority",
+                domain=tuple(range(num_priorities)),
+                description="Priority of the page in its DB2 buffer cache.",
+            ),
+        ],
+    )
+
+
+def mysql_schema(
+    client_id: str = "mysql",
+    num_threads: int = 5,
+    num_files: int = 9,
+    max_fix_count: int = 2,
+) -> HintSchema:
+    """Schema of the four MySQL hint types (paper Figure 2, last four rows)."""
+    return HintSchema(
+        client_id=client_id,
+        hint_types=[
+            HintType(
+                "thread_id",
+                domain=tuple(range(num_threads)),
+                description="ID of the server thread that issued the request.",
+            ),
+            HintType(
+                "request_type",
+                domain=RequestType.MYSQL_VALUES,
+                description="Read, replacement write, or recovery write.",
+            ),
+            HintType(
+                "file_id",
+                domain=tuple(range(num_files)),
+                description="File (table plus its indexes) the page belongs to.",
+            ),
+            HintType(
+                "fix_count",
+                domain=tuple(range(max_fix_count)),
+                description="How many MySQL threads currently have the page fixed (pinned).",
+            ),
+        ],
+    )

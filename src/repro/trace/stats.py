@@ -1,0 +1,82 @@
+"""Trace-level statistics: hint-set frequencies and locality measures.
+
+These helpers feed the Figure 5 trace table and the Figure 3 hint-priority
+scatter, and they are also handy for sanity-checking synthetic traces (e.g.
+verifying that a larger simulated first-tier buffer leaves less temporal
+locality for the storage server, as the paper observes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.simulation.request import IORequest
+
+__all__ = [
+    "hint_set_frequencies",
+    "request_type_mix",
+    "reuse_distance_profile",
+    "ReuseProfile",
+]
+
+
+def hint_set_frequencies(requests: Sequence[IORequest]) -> Counter:
+    """Count how many requests carry each distinct hint set (keyed by hint key)."""
+    counts: Counter = Counter()
+    for request in requests:
+        counts[request.hints.key()] += 1
+    return counts
+
+
+def request_type_mix(requests: Sequence[IORequest], hint_name: str = "request_type") -> Counter:
+    """Count requests by the value of one hint type (default: the write-hint type)."""
+    counts: Counter = Counter()
+    for request in requests:
+        counts[request.hints.get(hint_name, "<none>")] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Aggregate temporal-locality measures of a request stream."""
+
+    requests: int
+    read_rereferences: int
+    mean_reuse_distance: float
+    median_reuse_distance: float
+    unique_pages: int
+
+    @property
+    def rereference_fraction(self) -> float:
+        """Fraction of requests whose page is read again later in the stream."""
+        if self.requests == 0:
+            return 0.0
+        return self.read_rereferences / self.requests
+
+
+def reuse_distance_profile(requests: Sequence[IORequest]) -> ReuseProfile:
+    """Measure how quickly pages are *read* again after being requested.
+
+    The distance is measured in requests, exactly like CLIC's ``D(H)``
+    statistic but aggregated over the whole trace instead of per hint set.
+    """
+    last_seen: dict[int, int] = {}
+    distances: list[int] = []
+    for seq, request in enumerate(requests):
+        previous = last_seen.get(request.page)
+        if previous is not None and request.is_read:
+            distances.append(seq - previous)
+        last_seen[request.page] = seq
+    distances.sort()
+    count = len(distances)
+    mean = sum(distances) / count if count else 0.0
+    median = float(distances[count // 2]) if count else 0.0
+    return ReuseProfile(
+        requests=len(requests),
+        read_rereferences=count,
+        mean_reuse_distance=mean,
+        median_reuse_distance=median,
+        unique_pages=len(last_seen),
+    )

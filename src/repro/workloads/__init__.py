@@ -1,0 +1,59 @@
+"""Synthetic DBMS storage clients and workload models.
+
+These stand in for the paper's instrumented DB2/MySQL servers: a workload
+model (TPC-C-like or TPC-H-like) generates logical page operations, a
+simulated first-tier buffer pool filters them, and a client adapter attaches
+the hint types of Figure 2 to the I/O requests that reach the storage server.
+"""
+
+from repro.workloads.access import (
+    AppendCursor,
+    HotSpotSampler,
+    LogicalOp,
+    PageAccess,
+    ScanAccess,
+)
+from repro.workloads.client import DBMSClient
+from repro.workloads.db2 import DB2Client
+from repro.workloads.dbmodel import DatabaseObject, ObjectType, SyntheticDatabase
+from repro.workloads.firsttier import FirstTierBufferPool, IOClass, PoolIO
+from repro.workloads.mysql import MySQLClient
+from repro.workloads.standard import (
+    DEFAULT_TARGET_REQUESTS,
+    SCALE_FACTOR,
+    STANDARD_TRACES,
+    StandardTraceConfig,
+    clic_window_for,
+    server_cache_sizes,
+    standard_trace,
+)
+from repro.workloads.tpcc import TPCC_TRANSACTION_MIX, TPCCWorkload
+from repro.workloads.tpch import TPCH_QUERY_TEMPLATES, TPCHWorkload
+
+__all__ = [
+    "AppendCursor",
+    "HotSpotSampler",
+    "LogicalOp",
+    "PageAccess",
+    "ScanAccess",
+    "DBMSClient",
+    "DB2Client",
+    "MySQLClient",
+    "DatabaseObject",
+    "ObjectType",
+    "SyntheticDatabase",
+    "FirstTierBufferPool",
+    "IOClass",
+    "PoolIO",
+    "TPCCWorkload",
+    "TPCC_TRANSACTION_MIX",
+    "TPCHWorkload",
+    "TPCH_QUERY_TEMPLATES",
+    "StandardTraceConfig",
+    "STANDARD_TRACES",
+    "SCALE_FACTOR",
+    "DEFAULT_TARGET_REQUESTS",
+    "standard_trace",
+    "server_cache_sizes",
+    "clic_window_for",
+]

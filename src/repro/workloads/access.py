@@ -1,0 +1,113 @@
+"""Logical access primitives shared by the synthetic workload models.
+
+Workloads (TPC-C-like, TPC-H-like) are expressed as streams of *logical
+operations* against database objects; the DBMS client adapters
+(:mod:`repro.workloads.db2`, :mod:`repro.workloads.mysql`) push these through
+a simulated first-tier buffer pool, which is what turns logical accesses into
+the second-tier I/O requests the storage server sees.
+
+Two operation kinds cover everything the workload models need:
+
+* :class:`PageAccess` — touch one page of an object (read or update);
+* :class:`ScanAccess` — sequentially read a range of an object's pages
+  (drives prefetch reads and scan-resistant buffer management).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.dbmodel import DatabaseObject
+
+__all__ = ["PageAccess", "ScanAccess", "LogicalOp", "HotSpotSampler", "AppendCursor"]
+
+
+@dataclass(frozen=True, slots=True)
+class PageAccess:
+    """Touch one logical page of *obj*; ``write=True`` dirties the page."""
+
+    obj: DatabaseObject
+    page_index: int
+    write: bool = False
+    #: Identifier of the transaction/query that issued the access (used for
+    #: the MySQL ``thread_id`` hint and for bookkeeping; not interpreted).
+    txn: int = 0
+    #: Whether the page is a freshly appended page (no read-before-write).
+    is_new_page: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ScanAccess:
+    """Sequentially read ``length`` pages of *obj* starting at ``start_index``."""
+
+    obj: DatabaseObject
+    start_index: int
+    length: int
+    txn: int = 0
+
+
+LogicalOp = PageAccess | ScanAccess
+
+
+class HotSpotSampler:
+    """Skewed page-index sampler: a hot fraction of pages gets most accesses.
+
+    A classic 80/20-style model: with probability ``hot_probability`` the
+    sample falls uniformly inside the first ``hot_fraction`` of the object's
+    pages, otherwise uniformly in the remainder.  Unlike a Zipf sampler it
+    keeps working unchanged when the object grows.
+    """
+
+    def __init__(self, hot_fraction: float = 0.2, hot_probability: float = 0.8):
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 <= hot_probability <= 1.0:
+            raise ValueError("hot_probability must be in [0, 1]")
+        self._hot_fraction = hot_fraction
+        self._hot_probability = hot_probability
+
+    def sample(self, obj: DatabaseObject, rng: random.Random) -> int:
+        """Sample a logical page index of *obj*."""
+        total = obj.page_count
+        if total == 0:
+            raise ValueError(f"{obj.name} has no pages")
+        hot_pages = max(1, int(total * self._hot_fraction))
+        if rng.random() < self._hot_probability or hot_pages >= total:
+            return rng.randrange(hot_pages)
+        return hot_pages + rng.randrange(total - hot_pages)
+
+
+class AppendCursor:
+    """Tracks the append position of a growing object (inserts at the tail).
+
+    TPC-C's ORDERS / ORDERLINE / HISTORY tables grow by appending rows; each
+    appended row dirties the current tail page, and every ``rows_per_page``
+    rows a fresh page is allocated through the database.
+    """
+
+    def __init__(self, obj: DatabaseObject, rows_per_page: int = 50):
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+        self.obj = obj
+        self._rows_per_page = rows_per_page
+        self._rows_in_tail = 0
+
+    def append(self, database, count: int = 1) -> list[PageAccess]:
+        """Append *count* rows; returns the page accesses (writes) performed.
+
+        ``database`` is the :class:`~repro.workloads.dbmodel.SyntheticDatabase`
+        that owns the object (needed to allocate new pages).
+        """
+        accesses: list[PageAccess] = []
+        for _ in range(count):
+            if self.obj.page_count == 0 or self._rows_in_tail >= self._rows_per_page:
+                database.grow(self.obj, 1)
+                self._rows_in_tail = 0
+                accesses.append(
+                    PageAccess(self.obj, self.obj.last_page_index(), write=True, is_new_page=True)
+                )
+            else:
+                accesses.append(PageAccess(self.obj, self.obj.last_page_index(), write=True))
+            self._rows_in_tail += 1
+        return accesses

@@ -1,0 +1,116 @@
+"""MySQL-like storage client: emits the four MySQL hint types of Figure 2.
+
+Every I/O request carries a hint set ``(thread id, request type, file id,
+fix count)``:
+
+* the thread id is the workload thread (query stream) that issued the
+  request, assigned round-robin per transaction/query;
+* the request type collapses the five DB2 classes into MySQL's three (read,
+  replacement write, recovery write);
+* the file id groups each table with its indexes, since the paper's MySQL
+  configuration stores a table and its indexes in one file;
+* the fix count says whether the page is currently pinned in the buffer pool
+  (recovery writes target pinned-hot pages; evicted pages are unpinned).
+
+MySQL manages a single InnoDB buffer pool, so this client uses one first-tier
+pool regardless of the layout's pool ids.
+"""
+
+from __future__ import annotations
+
+from repro.core.hints import HintSchema, HintSet
+from repro.trace.schema import RequestType, mysql_schema
+from repro.workloads.client import DBMSClient
+from repro.workloads.dbmodel import DatabaseObject, SyntheticDatabase
+from repro.workloads.firsttier import FirstTierBufferPool, IOClass, PoolIO
+
+__all__ = ["MySQLClient", "MYSQL_REQUEST_TYPE_BY_IO_CLASS"]
+
+
+#: MySQL's request-type hint has only three values (Figure 2): prefetch reads
+#: report as plain reads and synchronous writes as replacement writes.
+MYSQL_REQUEST_TYPE_BY_IO_CLASS = {
+    IOClass.REGULAR_READ: RequestType.READ,
+    IOClass.PREFETCH_READ: RequestType.READ,
+    IOClass.RECOVERY_WRITE: RequestType.RECOVERY_WRITE,
+    IOClass.REPLACEMENT_WRITE: RequestType.REPLACEMENT_WRITE,
+    IOClass.SYNCHRONOUS_WRITE: RequestType.REPLACEMENT_WRITE,
+}
+
+
+class MySQLClient(DBMSClient):
+    """A synthetic stand-in for the paper's instrumented MySQL storage client."""
+
+    def __init__(
+        self,
+        database: SyntheticDatabase,
+        buffer_pages: int,
+        client_id: str = "mysql",
+        num_threads: int = 5,
+        seed: int = 0,
+        cleaner_interval: int = 200,
+        checkpoint_interval: int = 4_000,
+    ):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self._num_threads = num_threads
+        super().__init__(
+            client_id=client_id,
+            database=database,
+            buffer_pages=buffer_pages,
+            seed=seed,
+            cleaner_interval=cleaner_interval,
+            checkpoint_interval=checkpoint_interval,
+        )
+        self._file_ids = self._assign_file_ids(database)
+        self._schema = mysql_schema(
+            client_id=client_id,
+            num_threads=num_threads,
+            num_files=max(self._file_ids.values()) + 1,
+            max_fix_count=2,
+        )
+
+    @property
+    def schema(self) -> HintSchema:
+        return self._schema
+
+    # ----------------------------------------------------------- pool set-up
+    def _build_pools(self) -> dict[int, FirstTierBufferPool]:
+        # MySQL/InnoDB uses a single buffer pool shared by all objects.
+        return {0: self._make_pool(self.buffer_pages)}
+
+    def _pool_for(self, pool_id: int) -> FirstTierBufferPool:
+        return self._pools[0]
+
+    # --------------------------------------------------------------- mapping
+    @staticmethod
+    def _base_table_name(obj: DatabaseObject) -> str:
+        """Strip index suffixes so a table and its indexes share one file."""
+        name = obj.name
+        for suffix in ("_PK", "_IDX"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+        # Secondary indexes named <TABLE>_<something>_IDX already handled; a
+        # plain table name maps to itself.
+        return name
+
+    def _assign_file_ids(self, database: SyntheticDatabase) -> dict[int, int]:
+        files: dict[str, int] = {}
+        mapping: dict[int, int] = {}
+        for obj in database.objects():
+            base = self._base_table_name(obj)
+            if base not in files:
+                files[base] = len(files)
+            mapping[obj.object_id] = files[base]
+        return mapping
+
+    def hint_set_for(self, io: PoolIO) -> HintSet:
+        fix_count = 1 if io.io_class is IOClass.RECOVERY_WRITE else 0
+        return self._schema.make_hint_set(
+            {
+                "thread_id": io.txn % self._num_threads,
+                "request_type": MYSQL_REQUEST_TYPE_BY_IO_CLASS[io.io_class],
+                "file_id": self._file_ids[io.obj.object_id],
+                "fix_count": fix_count,
+            }
+        )

@@ -1,0 +1,77 @@
+"""Tests for the ARC policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.arc import ARCPolicy
+from repro.cache.lru import LRUPolicy
+from repro.simulation.simulator import CacheSimulator
+
+from tests.conftest import rd
+
+
+class TestARCBasics:
+    def test_hit_and_miss(self):
+        arc = ARCPolicy(4)
+        assert arc.access(rd(1), 0) is False
+        assert arc.access(rd(1), 1) is True
+
+    def test_capacity_never_exceeded(self):
+        arc = ARCPolicy(8)
+        rng = random.Random(5)
+        for seq in range(2000):
+            arc.access(rd(rng.randrange(64)), seq)
+            assert len(arc) <= 8
+
+    def test_repeated_access_promotes_to_frequency_list(self):
+        arc = ARCPolicy(4)
+        arc.access(rd(1), 0)
+        arc.access(rd(1), 1)
+        assert 1 in arc._t2
+        assert 1 not in arc._t1
+
+    def test_ghost_hit_adapts_target(self):
+        arc = ARCPolicy(2)
+        # Put page 1 in T2, page 2 in T1, then force 2 out into the B1 ghosts.
+        arc.access(rd(1), 0)
+        arc.access(rd(1), 1)          # page 1 promoted to T2
+        arc.access(rd(2), 2)          # page 2 enters T1
+        arc.access(rd(3), 3)          # REPLACE evicts page 2 from T1 into B1
+        assert 2 in arc._b1
+        before = arc.target_t1_size
+        arc.access(rd(2), 4)          # ghost hit in B1 -> p grows
+        assert arc.target_t1_size > before
+        assert arc.contains(2)
+
+    def test_scan_resistance_beats_lru(self):
+        """A loop larger than the cache mixed with hot pages: ARC >= LRU."""
+        rng = random.Random(11)
+        requests = []
+        for i in range(30_000):
+            if i % 2 == 0:
+                requests.append(rd(rng.randrange(8)))          # hot set
+            else:
+                requests.append(rd(100 + (i // 2) % 2000))      # long scan loop
+        arc_result = CacheSimulator(ARCPolicy(64)).run(requests)
+        lru_result = CacheSimulator(LRUPolicy(64)).run(requests)
+        assert arc_result.read_hit_ratio >= lru_result.read_hit_ratio
+
+    def test_reset(self):
+        arc = ARCPolicy(4)
+        for seq in range(10):
+            arc.access(rd(seq % 6), seq)
+        arc.reset()
+        assert len(arc) == 0
+        assert arc.target_t1_size == 0.0
+
+    def test_total_directory_bounded(self):
+        # |T1|+|T2|+|B1|+|B2| <= 2c for ARC.
+        arc = ARCPolicy(16)
+        rng = random.Random(3)
+        for seq in range(5000):
+            arc.access(rd(rng.randrange(200)), seq)
+            directory = len(arc._t1) + len(arc._t2) + len(arc._b1) + len(arc._b2)
+            assert directory <= 2 * 16 + 1

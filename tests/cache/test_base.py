@@ -1,0 +1,97 @@
+"""Tests for the policy base class, statistics and capacity validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CachePolicy, CacheStats, validate_capacity
+from repro.cache.lru import LRUPolicy
+
+from tests.conftest import rd, wr
+
+
+class TestValidateCapacity:
+    def test_accepts_positive_int(self):
+        assert validate_capacity(10) == 10
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            validate_capacity(0)
+        with pytest.raises(ValueError):
+            validate_capacity(-5)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            validate_capacity(2.5)
+
+
+class TestCacheStats:
+    def test_read_hit_ratio(self):
+        stats = CacheStats()
+        stats.record(rd(1), hit=True)
+        stats.record(rd(2), hit=False)
+        stats.record(rd(3), hit=True)
+        assert stats.read_hit_ratio == pytest.approx(2 / 3)
+
+    def test_read_hit_ratio_zero_reads(self):
+        stats = CacheStats()
+        stats.record(wr(1), hit=True)
+        assert stats.read_hit_ratio == 0.0
+
+    def test_writes_do_not_count_towards_read_hit_ratio(self):
+        stats = CacheStats()
+        stats.record(rd(1), hit=False)
+        stats.record(wr(2), hit=True)
+        assert stats.read_hit_ratio == 0.0
+        assert stats.write_hits == 1
+
+    def test_overall_hit_ratio(self):
+        stats = CacheStats()
+        stats.record(rd(1), hit=True)
+        stats.record(wr(2), hit=False)
+        assert stats.overall_hit_ratio == pytest.approx(0.5)
+
+    def test_requests_count(self):
+        stats = CacheStats()
+        for i in range(3):
+            stats.record(rd(i), hit=False)
+        stats.record(wr(9), hit=False)
+        assert stats.requests == 4
+
+    def test_merge_sums_all_counters(self):
+        a = CacheStats(read_requests=2, read_hits=1, evictions=3)
+        b = CacheStats(read_requests=4, read_hits=2, write_requests=1, admissions=5)
+        merged = a.merge(b)
+        assert merged.read_requests == 6
+        assert merged.read_hits == 3
+        assert merged.write_requests == 1
+        assert merged.evictions == 3
+        assert merged.admissions == 5
+
+    def test_as_dict_round_trips_counters(self):
+        stats = CacheStats(read_requests=10, read_hits=4)
+        d = stats.as_dict()
+        assert d["read_requests"] == 10
+        assert d["read_hit_ratio"] == pytest.approx(0.4)
+
+
+class TestCachePolicyBase:
+    def test_capacity_exposed(self):
+        assert LRUPolicy(7).capacity == 7
+
+    def test_check_invariant_passes_for_valid_policy(self):
+        policy = LRUPolicy(2)
+        for seq, page in enumerate([1, 2, 3, 4]):
+            policy.access(rd(page), seq)
+        policy._check_invariant()
+
+    def test_abstract_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            CachePolicy(4)  # type: ignore[abstract]
+
+    def test_reset_clears_stats(self):
+        policy = LRUPolicy(2)
+        policy.access(rd(1), 0)
+        policy.reset()
+        assert policy.stats.requests == 0
+        assert len(policy) == 0

@@ -1,0 +1,140 @@
+"""Tests for the simple hint-oblivious policies: LRU, FIFO, CLOCK, LFU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.clock import ClockPolicy
+from repro.cache.fifo import FIFOPolicy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.lru import LRUPolicy
+
+from tests.conftest import rd, wr
+
+
+class TestLRU:
+    def test_hit_and_miss(self):
+        lru = LRUPolicy(2)
+        assert lru.access(rd(1), 0) is False
+        assert lru.access(rd(1), 1) is True
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUPolicy(2)
+        lru.access(rd(1), 0)
+        lru.access(rd(2), 1)
+        lru.access(rd(1), 2)      # page 1 is now more recent than page 2
+        lru.access(rd(3), 3)      # evicts page 2
+        assert lru.contains(1) and lru.contains(3)
+        assert not lru.contains(2)
+
+    def test_writes_count_as_uses(self):
+        lru = LRUPolicy(2)
+        lru.access(rd(1), 0)
+        lru.access(rd(2), 1)
+        lru.access(wr(1), 2)
+        lru.access(rd(3), 3)
+        assert lru.contains(1)
+        assert not lru.contains(2)
+
+    def test_capacity_never_exceeded(self):
+        lru = LRUPolicy(3)
+        for seq in range(100):
+            lru.access(rd(seq % 10), seq)
+            assert len(lru) <= 3
+
+    def test_eviction_and_admission_counters(self):
+        lru = LRUPolicy(1)
+        lru.access(rd(1), 0)
+        lru.access(rd(2), 1)
+        assert lru.stats.admissions == 2
+        assert lru.stats.evictions == 1
+
+    def test_sequential_scan_yields_no_hits(self):
+        lru = LRUPolicy(10)
+        for seq in range(100):
+            assert lru.access(rd(seq), seq) is False
+        assert lru.stats.read_hit_ratio == 0.0
+
+
+class TestFIFO:
+    def test_evicts_in_insertion_order_regardless_of_use(self):
+        fifo = FIFOPolicy(2)
+        fifo.access(rd(1), 0)
+        fifo.access(rd(2), 1)
+        fifo.access(rd(1), 2)     # hit, but does not refresh position
+        fifo.access(rd(3), 3)     # evicts page 1 (oldest insertion)
+        assert not fifo.contains(1)
+        assert fifo.contains(2) and fifo.contains(3)
+
+    def test_hit_reporting(self):
+        fifo = FIFOPolicy(2)
+        assert fifo.access(rd(7), 0) is False
+        assert fifo.access(rd(7), 1) is True
+
+    def test_capacity_never_exceeded(self):
+        fifo = FIFOPolicy(4)
+        for seq in range(50):
+            fifo.access(rd(seq % 9), seq)
+            assert len(fifo) <= 4
+
+
+class TestClock:
+    def test_hit_and_miss(self):
+        clock = ClockPolicy(2)
+        assert clock.access(rd(1), 0) is False
+        assert clock.access(rd(1), 1) is True
+
+    def test_second_chance_protects_referenced_page(self):
+        clock = ClockPolicy(2)
+        clock.access(rd(1), 0)
+        clock.access(rd(2), 1)
+        clock.access(rd(1), 2)    # sets page 1's reference bit
+        clock.access(rd(3), 3)    # hand clears 1's bit, evicts 2
+        assert clock.contains(1)
+        assert not clock.contains(2)
+        assert clock.contains(3)
+
+    def test_capacity_never_exceeded(self):
+        clock = ClockPolicy(5)
+        for seq in range(200):
+            clock.access(rd(seq % 17), seq)
+            assert len(clock) <= 5
+
+    def test_reset(self):
+        clock = ClockPolicy(2)
+        clock.access(rd(1), 0)
+        clock.reset()
+        assert len(clock) == 0
+        assert not clock.contains(1)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        lfu = LFUPolicy(2)
+        lfu.access(rd(1), 0)
+        lfu.access(rd(1), 1)
+        lfu.access(rd(2), 2)
+        lfu.access(rd(3), 3)      # evicts page 2 (frequency 1 < 2)
+        assert lfu.contains(1)
+        assert not lfu.contains(2)
+        assert lfu.contains(3)
+
+    def test_tie_broken_by_recency_of_insertion(self):
+        lfu = LFUPolicy(2)
+        lfu.access(rd(1), 0)
+        lfu.access(rd(2), 1)
+        lfu.access(rd(3), 2)      # 1 and 2 tie at frequency 1; 1 is older
+        assert not lfu.contains(1)
+        assert lfu.contains(2) and lfu.contains(3)
+
+    def test_capacity_never_exceeded(self):
+        lfu = LFUPolicy(3)
+        for seq in range(100):
+            lfu.access(rd(seq % 7), seq)
+            assert len(lfu) <= 3
+
+    def test_reset(self):
+        lfu = LFUPolicy(2)
+        lfu.access(rd(1), 0)
+        lfu.reset()
+        assert len(lfu) == 0

@@ -1,0 +1,82 @@
+"""Tests for the off-line optimal policy (Belady MIN on future reads)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.arc import ARCPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.opt import OPTPolicy
+from repro.simulation.simulator import CacheSimulator
+
+from tests.conftest import rd, wr
+
+
+class TestOPT:
+    def test_access_before_prepare_raises(self):
+        opt = OPTPolicy(2)
+        with pytest.raises(RuntimeError):
+            opt.access(rd(1), 0)
+
+    def test_simple_belady_decision(self):
+        # Pages: 1 2 3 1 2 3 with capacity 2.  OPT keeps the pages that are
+        # read soonest; LRU thrashes on this pattern.
+        requests = [rd(p) for p in (1, 2, 3, 1, 2, 3)]
+        opt_result = CacheSimulator(OPTPolicy(2)).run(requests)
+        lru_result = CacheSimulator(LRUPolicy(2)).run(requests)
+        assert opt_result.stats.read_hits > lru_result.stats.read_hits
+
+    def test_never_read_again_pages_are_bypassed(self):
+        requests = [rd(1), rd(2), rd(1), rd(2), rd(99)]   # 99 never read again
+        opt = OPTPolicy(2)
+        CacheSimulator(opt).run(requests)
+        assert not opt.contains(99)
+        assert opt.stats.bypasses >= 1
+
+    def test_write_only_pages_are_worthless(self):
+        requests = [wr(5), wr(5), rd(1), rd(1)]
+        opt = OPTPolicy(1)
+        result = CacheSimulator(opt).run(requests)
+        assert not opt.contains(5)
+        assert result.stats.read_hits == 1
+
+    def test_opt_dominates_online_policies_on_random_workloads(self):
+        """The defining property: OPT's read hit ratio upper-bounds every online policy."""
+        rng = random.Random(123)
+        for trial in range(3):
+            requests = []
+            for i in range(3000):
+                if rng.random() < 0.7:
+                    requests.append(rd(rng.randrange(50)))
+                else:
+                    requests.append(rd(50 + rng.randrange(500)))
+            capacity = 40
+            opt = CacheSimulator(OPTPolicy(capacity)).run(requests).read_hit_ratio
+            lru = CacheSimulator(LRUPolicy(capacity)).run(requests).read_hit_ratio
+            arc = CacheSimulator(ARCPolicy(capacity)).run(requests).read_hit_ratio
+            assert opt >= lru - 1e-9
+            assert opt >= arc - 1e-9
+
+    def test_capacity_never_exceeded(self):
+        rng = random.Random(77)
+        requests = [rd(rng.randrange(100)) for _ in range(2000)]
+        opt = OPTPolicy(16)
+        opt.prepare(requests)
+        for seq, request in enumerate(requests):
+            opt.access(request, seq)
+            assert len(opt) <= 16
+
+    def test_reset_keeps_future_index(self):
+        requests = [rd(1), rd(2), rd(1)]
+        opt = OPTPolicy(2)
+        opt.prepare(requests)
+        for seq, request in enumerate(requests):
+            opt.access(request, seq)
+        opt.reset()
+        assert len(opt) == 0
+        # The same trace can be replayed without calling prepare() again.
+        for seq, request in enumerate(requests):
+            opt.access(request, seq)
+        assert opt.stats.read_hits == 1

@@ -1,0 +1,53 @@
+"""Tests for the policy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CachePolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.registry import (
+    PAPER_POLICIES,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+
+
+class TestRegistry:
+    def test_paper_policies_all_registered(self):
+        names = set(available_policies())
+        assert set(PAPER_POLICIES) <= names
+
+    def test_create_policy_builds_correct_type(self):
+        policy = create_policy("LRU", capacity=10)
+        assert isinstance(policy, LRUPolicy)
+        assert policy.capacity == 10
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(create_policy("lru", capacity=4), LRUPolicy)
+        assert isinstance(create_policy("Clic", capacity=4), CachePolicy)
+
+    def test_unknown_policy_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            create_policy("NOPE", capacity=4)
+
+    def test_kwargs_forwarded_to_factory(self):
+        policy = create_policy("TQ", capacity=4, cache_recovery_writes=True)
+        assert policy._cache_recovery_writes is True
+
+    def test_register_custom_policy(self):
+        class AlwaysEmpty(LRUPolicy):
+            name = "EMPTY-TEST"
+
+        register_policy("EMPTY-TEST", AlwaysEmpty, overwrite=True)
+        assert isinstance(create_policy("EMPTY-TEST", capacity=2), AlwaysEmpty)
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        with pytest.raises(ValueError):
+            register_policy("LRU", LRUPolicy)
+
+    def test_clic_created_with_default_config(self):
+        policy = create_policy("CLIC", capacity=100)
+        assert policy.name == "CLIC"
+        assert policy.capacity == 100

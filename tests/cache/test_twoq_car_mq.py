@@ -1,0 +1,153 @@
+"""Tests for the extended hint-oblivious policies: 2Q, CAR and MQ."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.car import CARPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.mq import MQPolicy
+from repro.cache.twoq import TwoQPolicy
+from repro.simulation.simulator import CacheSimulator
+
+from tests.conftest import rd
+
+
+class TestTwoQ:
+    def test_hit_and_miss(self):
+        twoq = TwoQPolicy(8)
+        assert twoq.access(rd(1), 0) is False
+        assert twoq.access(rd(1), 1) is True
+
+    def test_capacity_never_exceeded(self):
+        twoq = TwoQPolicy(10)
+        rng = random.Random(1)
+        for seq in range(3000):
+            twoq.access(rd(rng.randrange(100)), seq)
+            assert len(twoq) <= 10
+
+    def test_ghost_rereference_promotes_to_main_queue(self):
+        twoq = TwoQPolicy(4, kin_fraction=0.25, kout_fraction=2.0)
+        # Fill A1in past its limit so page 1 falls into the A1out ghost queue.
+        for seq, page in enumerate([1, 2, 3, 4, 5]):
+            twoq.access(rd(page), seq)
+        assert 1 in twoq._a1out
+        twoq.access(rd(1), 10)
+        assert 1 in twoq._am
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            TwoQPolicy(10, kin_fraction=0.0)
+        with pytest.raises(ValueError):
+            TwoQPolicy(10, kout_fraction=0.0)
+
+    def test_scan_does_not_flush_main_queue(self):
+        twoq = TwoQPolicy(20)
+        # Promote page 1 into Am: let it fall out of A1in into the A1out ghost
+        # queue, then re-reference it (that is 2Q's promotion rule).
+        twoq.access(rd(1), 0)
+        for seq in range(1, 26):
+            twoq.access(rd(1000 + seq), seq)
+        assert 1 in twoq._a1out
+        twoq.access(rd(1), 26)
+        assert 1 in twoq._am
+        # A long one-shot scan must not push the hot page out of Am.
+        for seq in range(27, 2027):
+            twoq.access(rd(5000 + seq), seq)
+        assert twoq.contains(1)
+
+
+class TestCAR:
+    def test_hit_and_miss(self):
+        car = CARPolicy(4)
+        assert car.access(rd(1), 0) is False
+        assert car.access(rd(1), 1) is True
+
+    def test_capacity_never_exceeded(self):
+        car = CARPolicy(8)
+        rng = random.Random(2)
+        for seq in range(3000):
+            car.access(rd(rng.randrange(80)), seq)
+            assert len(car) <= 8
+
+    def test_ghost_hit_moves_page_to_frequency_clock(self):
+        car = CARPolicy(2)
+        car.access(rd(1), 0)
+        car.access(rd(2), 1)
+        car.access(rd(3), 2)
+        car.access(rd(4), 3)
+        # At least one of the early pages is now a ghost; touching it again
+        # must bring it back into the cache via T2.
+        ghost = next(iter(car._b1)) if car._b1 else next(iter(car._b2))
+        car.access(rd(ghost), 4)
+        assert car.contains(ghost)
+        assert ghost in car._in_t2
+
+    def test_reasonable_hit_ratio_on_skewed_workload(self):
+        rng = random.Random(9)
+        requests = [rd(rng.randrange(30) if rng.random() < 0.8 else 30 + rng.randrange(1000)) for _ in range(20000)]
+        car_result = CacheSimulator(CARPolicy(40)).run(requests)
+        assert car_result.read_hit_ratio > 0.4
+
+    def test_reset(self):
+        car = CARPolicy(4)
+        for seq in range(20):
+            car.access(rd(seq % 7), seq)
+        car.reset()
+        assert len(car) == 0
+
+
+class TestMQ:
+    def test_hit_and_miss(self):
+        mq = MQPolicy(4)
+        assert mq.access(rd(1), 0) is False
+        assert mq.access(rd(1), 1) is True
+
+    def test_capacity_never_exceeded(self):
+        mq = MQPolicy(8)
+        rng = random.Random(4)
+        for seq in range(3000):
+            mq.access(rd(rng.randrange(64)), seq)
+            assert len(mq) <= 8
+
+    def test_frequent_pages_live_in_higher_queues(self):
+        mq = MQPolicy(8, num_queues=4)
+        for seq in range(8):
+            mq.access(rd(1), seq)
+        entry = mq._where[1]
+        assert entry.level >= 2          # freq 8 -> level min(log2(8), 3) = 3
+
+    def test_ghost_queue_preserves_frequency_across_eviction(self):
+        mq = MQPolicy(2, num_queues=4, lifetime=1000)
+        for seq in range(6):
+            mq.access(rd(1), seq)        # page 1 becomes frequent
+        mq.access(rd(2), 6)
+        mq.access(rd(3), 7)
+        mq.access(rd(4), 8)              # page 1 may be evicted by now
+        if not mq.contains(1):
+            mq.access(rd(1), 9)
+            assert mq._where[1].freq > 1  # remembered frequency from the ghost queue
+        else:
+            assert mq._where[1].freq >= 6
+
+    def test_frequency_matters_more_than_recency(self):
+        """MQ keeps a frequently used page over a merely recent one."""
+        mq = MQPolicy(2, num_queues=4, lifetime=10_000)
+        for seq in range(10):
+            mq.access(rd(1), seq)        # hot page
+        mq.access(rd(2), 10)
+        mq.access(rd(3), 11)             # must evict page 2, not hot page 1
+        assert mq.contains(1)
+
+    def test_invalid_num_queues_rejected(self):
+        with pytest.raises(ValueError):
+            MQPolicy(4, num_queues=0)
+
+    def test_reset(self):
+        mq = MQPolicy(4)
+        for seq in range(20):
+            mq.access(rd(seq % 9), seq)
+        mq.reset()
+        assert len(mq) == 0

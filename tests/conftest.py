@@ -1,0 +1,62 @@
+"""Shared test fixtures and helpers for the CLIC reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hints import HintSet, make_hint_set
+from repro.simulation.request import IORequest, RequestKind
+
+
+def hint(client: str = "db2", **values) -> HintSet:
+    """Shorthand for building a hint set in tests."""
+    return make_hint_set(client, **values)
+
+
+def rd(page: int, hints: HintSet | None = None) -> IORequest:
+    """Shorthand read request."""
+    from repro.core.hints import EMPTY_HINT_SET
+
+    return IORequest(page=page, kind=RequestKind.READ, hints=hints or EMPTY_HINT_SET)
+
+
+def wr(page: int, hints: HintSet | None = None) -> IORequest:
+    """Shorthand write request."""
+    from repro.core.hints import EMPTY_HINT_SET
+
+    return IORequest(page=page, kind=RequestKind.WRITE, hints=hints or EMPTY_HINT_SET)
+
+
+def run_policy(policy, requests):
+    """Drive *policy* with *requests* via the simulator and return the result."""
+    from repro.simulation.simulator import CacheSimulator
+
+    return CacheSimulator(policy).run(requests)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(0xC11C)
+
+
+@pytest.fixture
+def skewed_trace(rng) -> list[IORequest]:
+    """A small two-temperature read trace: 100 hot pages and 5000 cold pages.
+
+    Half of the requests target the hot set (tagged with a 'hot' hint set),
+    half target the cold set (tagged 'cold').  A policy that learns to keep
+    the hot pages should approach a 50% read hit ratio with a cache of a few
+    hundred pages.
+    """
+    hot = hint(object_id="hot", request_type="read")
+    cold = hint(object_id="cold", request_type="read")
+    requests = []
+    for _ in range(20_000):
+        if rng.random() < 0.5:
+            requests.append(rd(rng.randrange(100), hot))
+        else:
+            requests.append(rd(100 + rng.randrange(5000), cold))
+    return requests

@@ -1,0 +1,229 @@
+"""Tests for the CLIC replacement policy (paper Figure 4 and Sections 3-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clic import CLICPolicy
+from repro.core.config import CLICConfig
+from repro.core.hints import make_hint_set
+from repro.simulation.simulator import CacheSimulator
+
+from tests.conftest import hint, rd, wr
+
+
+def small_config(**overrides) -> CLICConfig:
+    defaults = dict(window_size=10, decay=1.0, outqueue_factor=2.0, charge_metadata=False)
+    defaults.update(overrides)
+    return CLICConfig(**defaults)
+
+
+HOT = hint(object_id="hot")
+COLD = hint(object_id="cold")
+
+
+def teach_priorities(policy: CLICPolicy, hot_pages=range(100, 105), filler_pages=range(200, 300)):
+    """Run one training window so HOT gets a high priority and COLD gets zero.
+
+    HOT pages are read twice in quick succession (read re-references); COLD
+    pages are read once each (no re-reference).
+    """
+    seq = 0
+    requests = []
+    for page in hot_pages:
+        requests.append(rd(page, HOT))
+        requests.append(rd(page, HOT))
+    for page in filler_pages:
+        requests.append(rd(page, COLD))
+    for request in requests:
+        policy.access(request, seq)
+        seq += 1
+    # Close the training window explicitly so priorities take effect.
+    policy.priority_manager.force_window_boundary()
+    policy._rebuild_heap()
+    return seq
+
+
+class TestFigure4Policy:
+    def test_admits_while_cache_not_full(self):
+        policy = CLICPolicy(capacity=4, config=small_config())
+        for seq, page in enumerate([1, 2, 3]):
+            assert policy.access(rd(page, COLD), seq) is False
+        assert len(policy) == 3
+        assert all(policy.contains(p) for p in (1, 2, 3))
+
+    def test_hit_reports_true_and_updates_metadata(self):
+        policy = CLICPolicy(capacity=4, config=small_config())
+        policy.access(rd(1, COLD), 0)
+        assert policy.access(rd(1, HOT), 1) is True
+        # Most recent request determines the page's hint set.
+        assert policy._cached[1].hint_key == HOT.key()
+        assert policy._cached[1].seq == 1
+
+    def test_equal_priority_request_is_not_cached_when_full(self):
+        # With all priorities zero (no window completed), Pr(H) > m never
+        # holds, so a full cache never evicts (Figure 4 line 12 uses strict >).
+        policy = CLICPolicy(capacity=2, config=small_config(window_size=1000))
+        policy.access(rd(1, COLD), 0)
+        policy.access(rd(2, COLD), 1)
+        policy.access(rd(3, COLD), 2)
+        assert policy.contains(1) and policy.contains(2)
+        assert not policy.contains(3)
+        assert policy.stats.bypasses == 1
+
+    def test_uncached_page_is_remembered_in_outqueue(self):
+        policy = CLICPolicy(capacity=2, config=small_config(window_size=1000))
+        policy.access(rd(1, COLD), 0)
+        policy.access(rd(2, COLD), 1)
+        policy.access(rd(3, COLD), 2)
+        entry = policy.outqueue.get(3)
+        assert entry is not None
+        assert entry.seq == 2
+        assert entry.hint_key == COLD.key()
+
+    def test_higher_priority_request_evicts_lowest_priority_oldest_page(self):
+        # teach_priorities touches exactly 105 distinct pages, filling the cache.
+        policy = CLICPolicy(capacity=105, config=small_config(window_size=1_000_000))
+        seq = teach_priorities(policy)
+        assert policy.hint_priority(HOT) > policy.hint_priority(COLD) == 0.0
+        # Cache is full of HOT+COLD pages. A new HOT request must evict the
+        # oldest COLD page (the lowest-priority, minimum-sequence page).
+        oldest_cold = next(iter(policy._lists[COLD.key()]))
+        assert not policy.contains(999)
+        policy.access(rd(999, HOT), seq)
+        assert policy.contains(999)
+        assert not policy.contains(oldest_cold)
+
+    def test_low_priority_request_does_not_evict_higher_priority_pages(self):
+        policy = CLICPolicy(capacity=10, config=small_config(window_size=1_000_000))
+        # Fill the cache with HOT pages and teach a high priority for HOT.
+        seq = 0
+        for _ in range(2):
+            for page in range(10):
+                policy.access(rd(page, HOT), seq)
+                seq += 1
+        policy.priority_manager.force_window_boundary()
+        policy._rebuild_heap()
+        assert policy.hint_priority(HOT) > 0.0
+        policy.access(rd(500, COLD), seq)
+        assert not policy.contains(500)
+        assert len(policy) == 10
+
+    def test_evicted_page_lands_in_outqueue(self):
+        policy = CLICPolicy(capacity=105, config=small_config(window_size=1_000_000))
+        seq = teach_priorities(policy)
+        oldest_cold = next(iter(policy._lists[COLD.key()]))
+        policy.access(rd(999, HOT), seq)
+        entry = policy.outqueue.get(oldest_cold)
+        assert entry is not None
+        assert entry.hint_key == COLD.key()
+
+    def test_rerequest_moves_page_between_hint_set_lists(self):
+        policy = CLICPolicy(capacity=4, config=small_config())
+        policy.access(rd(1, COLD), 0)
+        policy.access(rd(1, HOT), 1)
+        assert 1 in policy._lists[HOT.key()]
+        assert 1 not in policy._lists[COLD.key()]
+
+    def test_capacity_invariant_never_violated(self):
+        policy = CLICPolicy(capacity=8, config=small_config(window_size=5))
+        seq = 0
+        for round_ in range(50):
+            for page in range(16):
+                policy.access(rd(page, HOT if page % 2 else COLD), seq)
+                seq += 1
+                assert len(policy) <= policy.capacity
+
+    def test_effective_capacity_charged_for_metadata(self):
+        charged = CLICPolicy(capacity=1000, config=CLICConfig(charge_metadata=True))
+        uncharged = CLICPolicy(capacity=1000, config=CLICConfig(charge_metadata=False))
+        assert charged.effective_capacity < 1000
+        assert uncharged.effective_capacity == 1000
+        # The paper reports roughly 1% overhead for Noutq = 5C.
+        assert charged.effective_capacity >= 980
+
+    def test_outqueue_capacity_follows_config_factor(self):
+        policy = CLICPolicy(capacity=100, config=small_config(outqueue_factor=5.0))
+        assert policy.outqueue.capacity == 500
+
+
+class TestHintAnalysisIntegration:
+    def test_read_rereference_detected_through_cache(self):
+        policy = CLICPolicy(capacity=4, config=small_config(window_size=100))
+        policy.access(rd(1, HOT), 0)
+        policy.access(rd(1, HOT), 5)
+        stats = policy.priority_manager.tracker.snapshot()[HOT.key()]
+        assert stats.read_rereferences == 1
+        assert stats.mean_distance == pytest.approx(5.0)
+
+    def test_read_rereference_detected_through_outqueue(self):
+        policy = CLICPolicy(capacity=1, config=small_config(window_size=100))
+        policy.access(rd(1, COLD), 0)     # cached
+        policy.access(rd(2, HOT), 1)      # not cached -> outqueue
+        policy.access(rd(2, HOT), 3)      # re-read while only in the outqueue
+        stats = policy.priority_manager.tracker.snapshot()[HOT.key()]
+        assert stats.read_rereferences == 1
+        assert stats.mean_distance == pytest.approx(2.0)
+
+    def test_write_rereference_is_not_credited(self):
+        policy = CLICPolicy(capacity=4, config=small_config(window_size=100))
+        policy.access(rd(1, HOT), 0)
+        policy.access(wr(1, HOT), 5)      # write re-reference: no benefit
+        stats = policy.priority_manager.tracker.snapshot()[HOT.key()]
+        assert stats.read_rereferences == 0
+
+    def test_rereference_credited_to_previous_hint_set(self):
+        # The credit goes to the hint set attached to the *original* request.
+        policy = CLICPolicy(capacity=4, config=small_config(window_size=100))
+        policy.access(rd(1, COLD), 0)
+        policy.access(rd(1, HOT), 4)
+        snapshot = policy.priority_manager.tracker.snapshot()
+        assert snapshot[COLD.key()].read_rereferences == 1
+        assert snapshot.get(HOT.key()) is None or snapshot[HOT.key()].read_rereferences == 0
+
+    def test_priorities_learned_favor_rereferenced_hint_set(self):
+        policy = CLICPolicy(capacity=200, config=small_config(window_size=1_000_000))
+        teach_priorities(policy)
+        assert policy.hint_priority(HOT) > policy.hint_priority(COLD)
+
+    def test_window_rollover_rebuilds_priorities(self):
+        policy = CLICPolicy(capacity=16, config=small_config(window_size=6))
+        seq = 0
+        for _ in range(3):
+            for page in (1, 2, 3):
+                policy.access(rd(page, HOT), seq)
+                seq += 1
+        assert policy.priority_manager.windows_completed >= 1
+        assert policy.hint_priority(HOT) > 0.0
+
+    def test_top_k_mode_limits_tracked_hint_sets(self):
+        config = small_config(window_size=1_000, top_k=2)
+        policy = CLICPolicy(capacity=8, config=config)
+        for seq, obj in enumerate(["a", "b", "c", "d", "e", "f"]):
+            policy.access(rd(seq, hint(object_id=obj)), seq)
+        assert len(policy.priority_manager.tracker) <= 2
+
+
+class TestEndToEndBehaviour:
+    def test_clic_beats_lru_on_hint_separable_workload(self, skewed_trace):
+        from repro.cache.lru import LRUPolicy
+
+        clic = CLICPolicy(capacity=200, config=CLICConfig(window_size=2000, charge_metadata=False))
+        lru = LRUPolicy(capacity=200)
+        clic_result = CacheSimulator(clic).run(skewed_trace)
+        lru_result = CacheSimulator(lru).run(skewed_trace)
+        assert clic_result.read_hit_ratio > lru_result.read_hit_ratio
+
+    def test_reset_restores_pristine_state(self):
+        policy = CLICPolicy(capacity=4, config=small_config())
+        for seq in range(20):
+            policy.access(rd(seq % 6, HOT), seq)
+        policy.reset()
+        assert len(policy) == 0
+        assert policy.stats.requests == 0
+        assert policy.current_priorities() == {}
+        assert len(policy.outqueue) == 0
+
+    def test_rejects_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CLICPolicy(capacity=0)

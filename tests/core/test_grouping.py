@@ -1,0 +1,113 @@
+"""Tests for the hint-set grouping extension (the paper's Section 8 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clic import CLICPolicy
+from repro.core.config import CLICConfig
+from repro.core.grouping import (
+    grouping_score,
+    project_hint_key,
+    project_hint_set,
+    select_informative_hint_types,
+)
+from repro.core.statistics import HintSetStats
+from repro.simulation.simulator import CacheSimulator
+from repro.trace.noise import inject_noise_hints
+
+from tests.conftest import hint, rd
+
+
+class TestProjection:
+    def test_project_hint_set_keeps_requested_names(self):
+        hs = hint("db2", a=1, b=2, c=3)
+        assert project_hint_set(hs, ["c", "a"]).as_dict() == {"c": 3, "a": 1}
+
+    def test_project_hint_set_skips_missing_names(self):
+        hs = hint("db2", a=1)
+        assert project_hint_set(hs, ["a", "zzz"]).as_dict() == {"a": 1}
+
+    def test_project_hint_key_identity_when_none(self):
+        hs = hint("db2", a=1, b=2)
+        assert project_hint_key(hs, None) == hs.key()
+
+    def test_projection_merges_hint_sets_that_agree_on_kept_types(self):
+        a = hint("db2", obj="stock", noise=1)
+        b = hint("db2", obj="stock", noise=2)
+        assert project_hint_key(a, ["obj"]) == project_hint_key(b, ["obj"])
+
+
+def _stats_fixture():
+    """Hint sets over (obj, noise): obj fully determines the priority, noise is random."""
+    per_hint_set = {}
+    names_by_key = {}
+    for obj, nr in (("stock", 40), ("orderline", 0)):
+        for noise in range(4):
+            key = ("db2", (obj, noise))
+            per_hint_set[key] = HintSetStats(
+                requests=100, read_rereferences=nr, distance_total=float(nr * 5)
+            )
+            names_by_key[key] = ("obj", "noise")
+    return per_hint_set, names_by_key
+
+
+class TestSelection:
+    def test_informative_type_selected_before_noise(self):
+        per_hint_set, names_by_key = _stats_fixture()
+        chosen = select_informative_hint_types(per_hint_set, names_by_key, max_types=1)
+        assert chosen == ("obj",)
+
+    def test_noise_type_not_added_when_it_adds_nothing(self):
+        per_hint_set, names_by_key = _stats_fixture()
+        chosen = select_informative_hint_types(per_hint_set, names_by_key, max_types=2)
+        assert "obj" in chosen
+        assert "noise" not in chosen
+
+    def test_grouping_score_higher_for_informative_projection(self):
+        per_hint_set, names_by_key = _stats_fixture()
+        assert grouping_score(per_hint_set, names_by_key, ["obj"]) > grouping_score(
+            per_hint_set, names_by_key, ["noise"]
+        )
+
+    def test_invalid_max_types(self):
+        with pytest.raises(ValueError):
+            select_informative_hint_types({}, {}, max_types=0)
+
+
+class TestCLICWithGrouping:
+    def _noisy_trace(self, rng):
+        hot = hint("db2", object_id="hot")
+        cold = hint("db2", object_id="cold")
+        base = []
+        for _ in range(12_000):
+            if rng.random() < 0.5:
+                base.append(rd(rng.randrange(80), hot))
+            else:
+                base.append(rd(80 + rng.randrange(4_000), cold))
+        # Three noise hint types over a domain of 10: up to 1000x dilution.
+        return inject_noise_hints(base, num_types=3, domain_size=10, seed=3)
+
+    def test_projection_recovers_hit_ratio_under_noise(self, rng):
+        requests = self._noisy_trace(rng)
+        # Tight hint-tracking budget, as in the paper's Figure 10 setting.
+        diluted = CLICPolicy(
+            160, CLICConfig(window_size=2_000, top_k=20, charge_metadata=False)
+        )
+        grouped = CLICPolicy(
+            160,
+            CLICConfig(
+                window_size=2_000,
+                top_k=20,
+                charge_metadata=False,
+                hint_projection=("object_id",),
+            ),
+        )
+        diluted_ratio = CacheSimulator(diluted).run(requests).read_hit_ratio
+        grouped_ratio = CacheSimulator(grouped).run(requests).read_hit_ratio
+        assert grouped_ratio >= diluted_ratio
+        assert grouped_ratio > 0.3
+
+    def test_config_validates_projection(self):
+        with pytest.raises(ValueError):
+            CLICConfig(hint_projection=())

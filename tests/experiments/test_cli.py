@@ -1,0 +1,76 @@
+"""Tests for the experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, render_result
+from repro.simulation.metrics import SweepResult
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.experiments == ["fig5"]
+        assert args.requests == 60_000
+        assert args.csv_dir is None
+
+    def test_list_flag(self):
+        args = build_parser().parse_args(["--list"])
+        assert args.list is True
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig2", "fig6", "fig11", "abl-window"):
+            assert experiment_id in output
+
+    def test_no_experiments_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_runs_fig2_without_trace_generation(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "pool_id" in output and "fix_count" in output
+
+    def test_runs_small_experiment_and_writes_csv(self, tmp_path, capsys):
+        assert main(["fig5", "--requests", "1500", "--seed", "3", "--csv-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "DB2_C60" in output
+        csv_file = tmp_path / "fig5.csv"
+        assert csv_file.exists()
+        assert "DB2_C60" in csv_file.read_text()
+
+
+class TestRenderResult:
+    def test_renders_sweep_result(self):
+        from repro.simulation.metrics import SimulationResult
+        from repro.cache.base import CacheStats
+
+        sweep = SweepResult(parameter="x")
+        sweep.add("LRU", 1.0, SimulationResult("LRU", 10, CacheStats(read_requests=2, read_hits=1)))
+        text, rows = render_result("figX", sweep)
+        assert "LRU" in text
+        assert rows[0]["series"] == "LRU"
+
+    def test_renders_row_list(self):
+        text, rows = render_result("figX", [{"a": 1}])
+        assert "a" in text
+        assert rows == [{"a": 1}]
+
+    def test_renders_dict_of_sweeps(self):
+        from repro.simulation.metrics import SimulationResult
+        from repro.cache.base import CacheStats
+
+        sweep = SweepResult(parameter="cache_size")
+        sweep.add("CLIC", 5.0, SimulationResult("CLIC", 5, CacheStats(read_requests=1)))
+        text, rows = render_result("figX", {"TRACE": sweep})
+        assert "[TRACE]" in text
+        assert rows[0]["trace"] == "TRACE"

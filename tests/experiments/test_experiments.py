@@ -1,0 +1,152 @@
+"""End-to-end tests for the per-figure experiment runners (scaled way down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, clear_trace_cache, generate_trace
+from repro.experiments.hint_priorities import run_hint_priority_scatter
+from repro.experiments.multiclient import run_multiclient_experiment
+from repro.experiments.noise import run_noise_experiment
+from repro.experiments.policies import run_policy_comparison
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.schemas_table import run_hint_schema_table
+from repro.experiments.topk import run_topk_experiment
+from repro.experiments.traces_table import run_trace_table
+from repro.experiments.ablations import run_metadata_charge_ablation, run_window_ablation
+
+
+#: Tiny settings so the full experiment pipeline runs in seconds under pytest.
+TINY = ExperimentSettings(target_requests=4_000, seed=5)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clear_cache_afterwards():
+    yield
+    clear_trace_cache()
+
+
+class TestCommon:
+    def test_trace_cache_returns_same_object(self):
+        a = generate_trace("DB2_C60", TINY)
+        b = generate_trace("DB2_C60", TINY)
+        assert a is b
+
+    def test_clic_config_scales_window(self):
+        settings = ExperimentSettings(target_requests=300_000)
+        assert settings.clic_config().window_size == 10_000
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        ids = set(list_experiments())
+        assert {"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} <= ids
+
+    def test_get_experiment_known_and_unknown(self):
+        assert get_experiment("fig6").paper_artifact == "Figure 6"
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_experiments_have_runners_and_descriptions(self):
+        for experiment in EXPERIMENTS.values():
+            assert callable(experiment.runner)
+            assert experiment.description
+
+
+class TestFigure2And5:
+    def test_hint_schema_table_covers_both_dbms(self):
+        rows = run_hint_schema_table()
+        dbms = {row["dbms"] for row in rows}
+        assert dbms == {"DB2", "MySQL"}
+        assert len(rows) == 9                      # 5 DB2 + 4 MySQL hint types
+
+    def test_trace_table_reports_requested_traces(self):
+        rows = run_trace_table(["DB2_C60"], TINY)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["trace"] == "DB2_C60"
+        assert row["requests"] == TINY.target_requests
+        assert row["distinct_pages"] > 0
+        assert row["distinct_hint_sets"] > 0
+
+
+class TestFigure3:
+    def test_scatter_rows_have_positive_priorities(self):
+        rows = run_hint_priority_scatter("DB2_C60", TINY)
+        assert rows
+        assert all(row["priority"] > 0 for row in rows)
+        assert all("hint_values" in row for row in rows)
+
+
+class TestFigures6to8:
+    def test_policy_comparison_produces_full_grid(self):
+        results = run_policy_comparison(["DB2_C60"], TINY, cache_sizes=[600, 1200])
+        sweep = results["DB2_C60"]
+        assert set(sweep.labels()) == set(TINY.policies)
+        assert sweep.xs("CLIC") == [600, 1200]
+        for label in sweep.labels():
+            for ratio in sweep.hit_ratios(label):
+                assert 0.0 <= ratio <= 1.0
+
+    def test_opt_upper_bounds_online_policies(self):
+        results = run_policy_comparison(["DB2_C60"], TINY, cache_sizes=[1200])
+        sweep = results["DB2_C60"]
+        opt = sweep.hit_ratios("OPT")[0]
+        for label in ("LRU", "ARC", "TQ", "CLIC"):
+            assert opt >= sweep.hit_ratios(label)[0] - 1e-9
+
+
+class TestFigure9:
+    def test_topk_sweep_has_one_series_per_trace(self):
+        sweep = run_topk_experiment(
+            trace_names=("DB2_C60",), cache_size=600, k_values=(2, 10, None), settings=TINY
+        )
+        assert sweep.labels() == ["DB2_C60"]
+        assert len(sweep.series["DB2_C60"]) == 3
+
+    def test_large_k_at_least_as_good_as_k_one(self):
+        sweep = run_topk_experiment(
+            trace_names=("DB2_C60",), cache_size=600, k_values=(1, 50), settings=TINY
+        )
+        points = sweep.series["DB2_C60"]
+        assert points[1].read_hit_ratio >= points[0].read_hit_ratio - 0.05
+
+
+class TestFigure10:
+    def test_noise_sweep_shape(self):
+        sweep = run_noise_experiment(
+            trace_names=("DB2_C60",), noise_levels=(0, 2), cache_size=600, top_k=20, settings=TINY
+        )
+        assert sweep.xs("DB2_C60") == [0.0, 2.0]
+
+    def test_noise_never_helps_much(self):
+        sweep = run_noise_experiment(
+            trace_names=("DB2_C60",), noise_levels=(0, 3), cache_size=600, top_k=20, settings=TINY
+        )
+        clean, noisy = sweep.hit_ratios("DB2_C60")
+        assert noisy <= clean + 0.05
+
+
+class TestFigure11:
+    def test_multiclient_result_structure(self):
+        result = run_multiclient_experiment(
+            trace_names=("DB2_C60", "DB2_C300"), shared_cache_size=1200, settings=TINY
+        )
+        assert set(result.shared_per_client) == {"DB2_C60", "DB2_C300"}
+        assert set(result.private_per_client) == {"DB2_C60", "DB2_C300"}
+        assert sum(result.private_cache_sizes) == 1200
+        rows = result.as_rows()
+        assert rows[-1]["trace"] == "overall"
+        assert 0.0 <= result.shared_overall <= 1.0
+
+
+class TestAblations:
+    def test_window_ablation_runs(self):
+        sweep = run_window_ablation("DB2_C60", cache_size=600, window_sizes=(1_000, 2_000), settings=TINY)
+        assert sweep.xs("DB2_C60") == [1_000.0, 2_000.0]
+
+    def test_metadata_charge_costs_little(self):
+        sweep = run_metadata_charge_ablation("DB2_C60", cache_size=600, settings=TINY)
+        uncharged, charged = sweep.hit_ratios("DB2_C60")
+        # Charging ~1% of the cache should cost at most a few points of hit ratio.
+        assert charged >= uncharged - 0.1

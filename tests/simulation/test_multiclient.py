@@ -1,0 +1,99 @@
+"""Tests for multi-client interleaving and capacity partitioning (Section 6.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.multiclient import (
+    interleave_round_robin,
+    partition_capacity,
+    remap_pages,
+)
+from repro.simulation.request import RequestKind
+
+from tests.conftest import hint, rd
+
+
+def client_trace(client_id: str, pages: list[int]):
+    hs = hint(client_id, table="t")
+    return [rd(page, hs) for page in pages]
+
+
+class TestInterleaving:
+    def test_round_robin_order(self):
+        a = client_trace("a", [1, 2])
+        b = client_trace("b", [7, 8])
+        combined = interleave_round_robin([a, b], page_stride=1000)
+        clients = [request.client_id for request in combined]
+        assert clients == ["a", "b", "a", "b"]
+
+    def test_truncation_to_shortest_trace(self):
+        a = client_trace("a", [1, 2, 3, 4, 5])
+        b = client_trace("b", [7])
+        combined = interleave_round_robin([a, b])
+        # One request per client per round, one round only.
+        assert len(combined) == 2
+
+    def test_no_truncation_keeps_all_requests(self):
+        a = client_trace("a", [1, 2, 3])
+        b = client_trace("b", [7])
+        combined = interleave_round_robin([a, b], truncate=False)
+        assert len(combined) == 4
+
+    def test_page_ids_are_disjoint_across_clients(self):
+        a = client_trace("a", [1, 2, 3])
+        b = client_trace("b", [1, 2, 3])     # same raw page ids
+        combined = interleave_round_robin([a, b])
+        pages_a = {r.page for r in combined if r.client_id == "a"}
+        pages_b = {r.page for r in combined if r.client_id == "b"}
+        assert pages_a.isdisjoint(pages_b)
+
+    def test_explicit_stride_respected(self):
+        a = client_trace("a", [1])
+        b = client_trace("b", [1])
+        combined = interleave_round_robin([a, b], page_stride=10_000)
+        assert {r.page for r in combined} == {1, 10_001}
+
+    def test_hints_and_kind_preserved(self):
+        hs = hint("a", table="stock")
+        trace = [rd(1, hs)]
+        combined = interleave_round_robin([trace, client_trace("b", [5])])
+        assert combined[0].hints == hs
+        assert combined[0].kind is RequestKind.READ
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_round_robin([client_trace("a", [1]), []])
+
+    def test_no_traces_returns_empty(self):
+        assert interleave_round_robin([]) == []
+
+
+class TestRemapPages:
+    def test_offset_applied(self):
+        trace = client_trace("a", [1, 2])
+        remapped = remap_pages(trace, offset=500)
+        assert [r.page for r in remapped] == [501, 502]
+
+    def test_original_untouched(self):
+        trace = client_trace("a", [1])
+        remap_pages(trace, offset=10)
+        assert trace[0].page == 1
+
+
+class TestPartitionCapacity:
+    def test_even_split(self):
+        assert partition_capacity(180, 3) == [60, 60, 60]
+
+    def test_remainder_distributed(self):
+        assert partition_capacity(10, 3) == [4, 3, 3]
+
+    def test_sum_preserved(self):
+        parts = partition_capacity(101, 4)
+        assert sum(parts) == 101
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_capacity(10, 0)
+        with pytest.raises(ValueError):
+            partition_capacity(2, 3)

@@ -1,0 +1,97 @@
+"""Tests for parameter sweeps and the sweep result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CLICConfig
+from repro.simulation.metrics import SweepResult, format_table
+from repro.simulation.sweep import (
+    compare_policies,
+    run_policy,
+    sweep_cache_sizes,
+    sweep_top_k,
+)
+
+from tests.conftest import hint, rd
+
+
+@pytest.fixture
+def tiny_trace(rng):
+    hot = hint(object_id="hot")
+    cold = hint(object_id="cold")
+    requests = []
+    for _ in range(4000):
+        if rng.random() < 0.6:
+            requests.append(rd(rng.randrange(50), hot))
+        else:
+            requests.append(rd(50 + rng.randrange(1000), cold))
+    return requests
+
+
+class TestRunAndCompare:
+    def test_run_policy_by_name(self, tiny_trace):
+        result = run_policy("LRU", tiny_trace, capacity=100)
+        assert result.policy_name == "LRU"
+        assert 0.0 <= result.read_hit_ratio <= 1.0
+
+    def test_compare_policies_runs_each_once(self, tiny_trace):
+        results = compare_policies(tiny_trace, capacity=100, policies=["LRU", "ARC", "OPT"])
+        assert set(results) == {"LRU", "ARC", "OPT"}
+        assert results["OPT"].read_hit_ratio >= results["LRU"].read_hit_ratio
+
+    def test_policy_kwargs_forwarded(self, tiny_trace):
+        results = compare_policies(
+            tiny_trace,
+            capacity=50,
+            policies=["CLIC"],
+            policy_kwargs={"CLIC": {"config": CLICConfig(window_size=500, charge_metadata=False)}},
+        )
+        assert results["CLIC"].capacity == 50
+
+
+class TestSweeps:
+    def test_cache_size_sweep_shape(self, tiny_trace):
+        sweep = sweep_cache_sizes(tiny_trace, cache_sizes=[25, 100], policies=["LRU", "OPT"])
+        assert set(sweep.labels()) == {"LRU", "OPT"}
+        assert sweep.xs("LRU") == [25, 100]
+
+    def test_hit_ratio_monotone_in_cache_size_for_opt(self, tiny_trace):
+        sweep = sweep_cache_sizes(tiny_trace, cache_sizes=[25, 50, 200], policies=["OPT"])
+        ratios = sweep.hit_ratios("OPT")
+        assert ratios == sorted(ratios)
+
+    def test_top_k_sweep_includes_track_all_reference(self, tiny_trace):
+        sweep = sweep_top_k(
+            tiny_trace,
+            capacity=100,
+            k_values=[1, 2, None],
+            base_config=CLICConfig(window_size=500, charge_metadata=False),
+        )
+        points = sweep.series["CLIC"]
+        assert len(points) == 3
+
+    def test_sweep_result_rows_and_table(self, tiny_trace):
+        sweep = sweep_cache_sizes(tiny_trace, cache_sizes=[50], policies=["LRU"])
+        rows = sweep.as_rows()
+        assert rows[0]["series"] == "LRU"
+        table = sweep.to_table()
+        assert "cache_size" in table and "LRU" in table
+
+    def test_curve_returns_x_y_pairs(self, tiny_trace):
+        sweep = sweep_cache_sizes(tiny_trace, cache_sizes=[50, 100], policies=["LRU"])
+        curve = sweep.curve("LRU")
+        assert len(curve) == 2
+        assert curve[0][0] == 50
+
+
+class TestFormatTable:
+    def test_formats_header_and_rows(self):
+        text = format_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

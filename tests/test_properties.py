@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.arc import ARCPolicy
+from repro.cache.car import CARPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.mq import MQPolicy
+from repro.cache.opt import OPTPolicy
+from repro.cache.tq import TQPolicy
+from repro.cache.twoq import TwoQPolicy
+from repro.core.clic import CLICPolicy
+from repro.core.config import CLICConfig
+from repro.core.hints import HintSet, make_hint_set
+from repro.core.outqueue import OutQueue
+from repro.core.spacesaving import SpaceSaving
+from repro.core.statistics import HintTable
+from repro.simulation.request import IORequest, RequestKind
+from repro.simulation.simulator import CacheSimulator
+from repro.trace.io import read_trace, write_trace
+from repro.trace.records import Trace
+
+
+# --------------------------------------------------------------------------- strategies
+hint_values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["read", "write", "x"]))
+
+
+@st.composite
+def hint_sets(draw):
+    names = ("kind", "obj")
+    values = tuple(draw(hint_values) for _ in names)
+    return HintSet(client_id=draw(st.sampled_from(["a", "b"])), names=names, values=values)
+
+
+@st.composite
+def requests(draw, max_page: int = 40):
+    return IORequest(
+        page=draw(st.integers(min_value=0, max_value=max_page)),
+        kind=draw(st.sampled_from([RequestKind.READ, RequestKind.WRITE])),
+        hints=draw(hint_sets()),
+    )
+
+
+request_streams = st.lists(requests(), min_size=1, max_size=300)
+capacities = st.integers(min_value=1, max_value=20)
+
+ONLINE_POLICIES = [LRUPolicy, ARCPolicy, TwoQPolicy, CARPolicy, MQPolicy, TQPolicy]
+
+
+# ----------------------------------------------------------------------------- policies
+class TestPolicyProperties:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    @pytest.mark.parametrize("policy_class", ONLINE_POLICIES + [CLICPolicy])
+    def test_capacity_never_exceeded(self, policy_class, stream, capacity):
+        if policy_class is CLICPolicy:
+            policy = CLICPolicy(capacity, CLICConfig(window_size=20, charge_metadata=False))
+        else:
+            policy = policy_class(capacity)
+        for seq, request in enumerate(stream):
+            policy.access(request, seq)
+            assert len(policy) <= capacity
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    @pytest.mark.parametrize("policy_class", ONLINE_POLICIES + [CLICPolicy])
+    def test_contains_is_consistent_with_reported_hits(self, policy_class, stream, capacity):
+        if policy_class is CLICPolicy:
+            policy = CLICPolicy(capacity, CLICConfig(window_size=20, charge_metadata=False))
+        else:
+            policy = policy_class(capacity)
+        for seq, request in enumerate(stream):
+            expected_hit = policy.contains(request.page)
+            assert policy.access(request, seq) == expected_hit
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    @pytest.mark.parametrize("policy_class", ONLINE_POLICIES)
+    def test_opt_read_hit_ratio_upper_bounds_online_policies(self, policy_class, stream, capacity):
+        opt = CacheSimulator(OPTPolicy(capacity)).run(stream).read_hit_ratio
+        online = CacheSimulator(policy_class(capacity)).run(stream).read_hit_ratio
+        assert opt >= online - 1e-9
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    def test_opt_upper_bounds_clic(self, stream, capacity):
+        opt = CacheSimulator(OPTPolicy(capacity)).run(stream).read_hit_ratio
+        clic_policy = CLICPolicy(capacity, CLICConfig(window_size=20, charge_metadata=False))
+        clic = CacheSimulator(clic_policy).run(stream).read_hit_ratio
+        assert opt >= clic - 1e-9
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    def test_policies_are_deterministic(self, stream, capacity):
+        for policy_class in (LRUPolicy, ARCPolicy):
+            first = CacheSimulator(policy_class(capacity)).run(stream)
+            second = CacheSimulator(policy_class(capacity)).run(stream)
+            assert first.stats.as_dict() == second.stats.as_dict()
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    def test_clic_deterministic(self, stream, capacity):
+        def run():
+            policy = CLICPolicy(capacity, CLICConfig(window_size=25, charge_metadata=False))
+            return CacheSimulator(policy).run(stream).stats.as_dict()
+
+        assert run() == run()
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams, capacity=capacities)
+    def test_stats_counters_add_up(self, stream, capacity):
+        policy = LRUPolicy(capacity)
+        result = CacheSimulator(policy).run(stream)
+        stats = result.stats
+        assert stats.requests == len(stream)
+        assert stats.read_hits <= stats.read_requests
+        assert stats.write_hits <= stats.write_requests
+        # Every cached page was admitted exactly once per residency.
+        assert stats.admissions - stats.evictions == len(policy)
+
+
+# -------------------------------------------------------------------------- hint table
+class TestHintStatisticsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.booleans(), st.integers(1, 50)),
+            max_size=200,
+        )
+    )
+    def test_hint_table_invariants(self, events):
+        table = HintTable()
+        requests_seen: dict[str, int] = {}
+        for key, is_request, distance in events:
+            if is_request:
+                table.record_request((key,))
+                requests_seen[key] = requests_seen.get(key, 0) + 1
+            else:
+                table.record_read_rereference((key,), distance)
+        for key, stats in table.snapshot().items():
+            assert stats.requests == requests_seen.get(key[0], 0)
+            assert stats.read_rereferences >= 0
+            assert stats.distance_total >= stats.read_rereferences  # distances are >= 1
+            assert stats.priority >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_space_saving_error_bounds(self, items, k):
+        from collections import Counter
+
+        truth = Counter(items)
+        summary = SpaceSaving(k)
+        for item in items:
+            summary.offer(item)
+        assert len(summary) <= k
+        for item, entry in summary.tracked().items():
+            # Classic Space-Saving guarantees.
+            assert entry.count >= truth[item]
+            assert entry.count - entry.error <= truth[item]
+            assert entry.error <= len(items) // k
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=8), min_size=20, max_size=400),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_space_saving_catches_heavy_hitters(self, items, k):
+        from collections import Counter
+
+        summary = SpaceSaving(k)
+        for item in items:
+            summary.offer(item)
+        threshold = len(items) / k
+        for item, count in Counter(items).items():
+            if count > threshold:
+                assert item in summary
+
+
+# ---------------------------------------------------------------------------- outqueue
+class TestOutQueueProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 1_000)), max_size=300
+        ),
+        capacity=st.integers(min_value=0, max_value=10),
+    )
+    def test_outqueue_never_exceeds_capacity(self, operations, capacity):
+        queue = OutQueue(capacity)
+        for page, seq in operations:
+            queue.put(page, seq, ())
+            assert len(queue) <= capacity
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 1_000)), min_size=1, max_size=300
+        ),
+    )
+    def test_outqueue_remembers_most_recent_metadata(self, operations):
+        queue = OutQueue(capacity=1_000)      # effectively unbounded here
+        latest: dict[int, int] = {}
+        for page, seq in operations:
+            queue.put(page, seq, ())
+            latest[page] = seq
+        for page, seq in latest.items():
+            assert queue.get(page).seq == seq
+
+
+# --------------------------------------------------------------------------- trace I/O
+class TestTraceRoundTripProperties:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=request_streams)
+    def test_trace_serialization_round_trips(self, stream, tmp_path_factory):
+        trace = Trace(name="prop", requests_list=list(stream), metadata={"k": 1})
+        path = tmp_path_factory.mktemp("traces") / "prop.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original.page == restored.page
+            assert original.kind == restored.kind
+            assert original.hints.key() == restored.hints.key()

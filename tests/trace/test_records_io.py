@@ -1,0 +1,127 @@
+"""Tests for the trace container, Figure 5 summaries, and trace serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.request import RequestKind
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.records import Trace
+
+from tests.conftest import hint, rd, wr
+
+
+def sample_trace() -> Trace:
+    hot = hint("db2", object_id=1, request_type="read")
+    cold = hint("db2", object_id=2, request_type="replacement_write")
+    requests = [rd(1, hot), rd(2, hot), wr(3, cold), rd(1, hot), wr(3, cold)]
+    return Trace(name="sample", requests_list=requests, metadata={"seed": 7})
+
+
+class TestTrace:
+    def test_len_and_iteration(self):
+        trace = sample_trace()
+        assert len(trace) == 5
+        assert [r.page for r in trace] == [1, 2, 3, 1, 3]
+
+    def test_indexing(self):
+        trace = sample_trace()
+        assert trace[0].page == 1
+        assert trace[-1].page == 3
+
+    def test_summary_counts_match_figure5_columns(self):
+        summary = sample_trace().summary()
+        assert summary.requests == 5
+        assert summary.reads == 3
+        assert summary.writes == 2
+        assert summary.distinct_pages == 3
+        assert summary.distinct_hint_sets == 2
+
+    def test_summary_as_dict(self):
+        d = sample_trace().summary().as_dict()
+        assert d["trace"] == "sample"
+        assert d["distinct_hint_sets"] == 2
+
+    def test_append_and_extend(self):
+        trace = Trace(name="t")
+        trace.append(rd(1))
+        trace.extend([rd(2), wr(3)])
+        assert len(trace) == 3
+
+    def test_truncated(self):
+        trace = sample_trace()
+        short = trace.truncated(2)
+        assert len(short) == 2
+        assert len(trace) == 5
+        assert short.metadata == trace.metadata
+
+    def test_distinct_sets(self):
+        trace = sample_trace()
+        assert trace.distinct_pages() == {1, 2, 3}
+        assert len(trace.distinct_hint_sets()) == 2
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "sample.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == "sample"
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original.page == restored.page
+            assert original.kind == restored.kind
+            assert original.hints.key() == restored.hints.key()
+
+    def test_metadata_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "sample.trace"
+        write_trace(trace, path)
+        assert read_trace(path).metadata["seed"] == 7
+
+    def test_hint_sets_dictionary_encoded(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "sample.trace"
+        write_trace(trace, path)
+        text = path.read_text()
+        assert text.count("#hintset") == 2     # one definition per distinct hint set
+
+    def test_empty_hint_sets_supported(self, tmp_path):
+        trace = Trace(name="plain", requests_list=[rd(1), wr(2)])
+        path = tmp_path / "plain.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded[0].hints.key() == ("", ())
+        assert loaded[1].kind is RequestKind.WRITE
+
+    def test_malformed_request_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 1\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("X 1 0\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_undefined_hint_set_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 1 7\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_malformed_hint_set_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#hintset 0 {not json}\nR 1 0\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "sample.trace"
+        write_trace(trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_trace(path)) == 5

@@ -1,0 +1,81 @@
+"""Tests for the DB2/MySQL hint schemas (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.schema import (
+    DB2_HINT_NAMES,
+    MYSQL_HINT_NAMES,
+    RequestType,
+    db2_schema,
+    mysql_schema,
+)
+
+
+class TestDB2Schema:
+    def test_five_hint_types_in_order(self):
+        schema = db2_schema()
+        assert schema.names == DB2_HINT_NAMES
+        assert len(schema) == 5
+
+    def test_default_cardinalities_match_tpcc_column(self):
+        # Figure 2 (TPC-C column): pool 2, object 21, object type 6,
+        # request type 5, buffer priority 4.
+        schema = db2_schema()
+        cards = [ht.cardinality for ht in schema]
+        assert cards == [2, 21, 6, 5, 4]
+
+    def test_request_type_domain_carries_write_hints(self):
+        schema = db2_schema()
+        domain = set(schema["request_type"].domain)
+        assert RequestType.REPLACEMENT_WRITE in domain
+        assert RequestType.RECOVERY_WRITE in domain
+        assert RequestType.SYNCHRONOUS_WRITE in domain
+        assert RequestType.PREFETCH_READ in domain
+
+    def test_custom_cardinalities(self):
+        schema = db2_schema(num_pools=5, num_objects=23, num_object_types=9)
+        assert schema["pool_id"].cardinality == 5
+        assert schema["object_id"].cardinality == 23
+        assert schema["object_type_id"].cardinality == 9
+
+    def test_client_id_namespaces_schema(self):
+        a = db2_schema(client_id="db2-a").make_hint_set([0, 0, 0, "read", 0])
+        b = db2_schema(client_id="db2-b").make_hint_set([0, 0, 0, "read", 0])
+        assert a != b
+
+    def test_max_hint_sets_is_domain_product(self):
+        assert db2_schema().max_hint_sets() == 2 * 21 * 6 * 5 * 4
+
+
+class TestMySQLSchema:
+    def test_four_hint_types_in_order(self):
+        schema = mysql_schema()
+        assert schema.names == MYSQL_HINT_NAMES
+        assert len(schema) == 4
+
+    def test_default_cardinalities_match_figure2(self):
+        # Figure 2 (MySQL TPC-H): thread 5, request type 3, file 9, fix count 2.
+        cards = [ht.cardinality for ht in mysql_schema()]
+        assert cards == [5, 3, 9, 2]
+
+    def test_request_type_has_three_values(self):
+        domain = mysql_schema()["request_type"].domain
+        assert set(domain) == {
+            RequestType.READ,
+            RequestType.REPLACEMENT_WRITE,
+            RequestType.RECOVERY_WRITE,
+        }
+
+    def test_descriptions_present(self):
+        for row in mysql_schema().describe():
+            assert row["description"]
+
+
+class TestRequestTypeConstants:
+    def test_write_values_are_disjoint_from_read_values(self):
+        assert not set(RequestType.WRITE_VALUES) & set(RequestType.READ_VALUES)
+
+    def test_db2_values_superset_of_mysql_values(self):
+        assert set(RequestType.MYSQL_VALUES) <= set(RequestType.DB2_VALUES)

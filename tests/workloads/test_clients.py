@@ -1,0 +1,137 @@
+"""Tests for the DB2-like and MySQL-like client adapters."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.trace.schema import RequestType
+from repro.workloads.db2 import DB2Client
+from repro.workloads.mysql import MySQLClient
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.tpch import TPCHWorkload
+
+
+@pytest.fixture
+def tpcc():
+    return TPCCWorkload(total_pages=3_000, seed=11)
+
+
+@pytest.fixture
+def tpch():
+    return TPCHWorkload(total_pages=3_000, seed=11, include_refresh=False, skip_queries=(18,))
+
+
+class TestDB2Client:
+    def test_emits_five_db2_hint_types(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        requests = client.run(tpcc.operations(transactions=100))
+        assert requests
+        for request in requests[:50]:
+            assert request.hints.names == (
+                "pool_id", "object_id", "object_type_id", "request_type", "buffer_priority",
+            )
+
+    def test_request_kind_matches_request_type_hint(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        for request in client.run(tpcc.operations(transactions=200)):
+            rtype = request.hints.get("request_type")
+            if request.is_read:
+                assert rtype in RequestType.READ_VALUES
+            else:
+                assert rtype in RequestType.WRITE_VALUES
+
+    def test_one_pool_per_layout_pool_id(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        assert set(client.pools()) == tpcc.database.pool_ids()
+
+    def test_hints_identify_objects_consistently(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        requests = client.run(tpcc.operations(transactions=100))
+        by_object: dict[int, set[int]] = {}
+        for request in requests:
+            by_object.setdefault(request.hints.get("object_id"), set()).add(request.page)
+        # Pages of different objects never share an object-id hint.
+        all_pages = [page for pages in by_object.values() for page in pages]
+        assert len(all_pages) == len(set(all_pages))
+
+    def test_client_id_namespaces_hints(self, tpcc):
+        a = DB2Client(database=tpcc.database, buffer_pages=300, client_id="db2-a", seed=1)
+        requests = a.run(tpcc.operations(transactions=5))
+        assert all(r.hints.client_id == "db2-a" for r in requests)
+        assert all(r.client_id == "db2-a" for r in requests)
+
+    def test_smaller_buffer_emits_more_io(self):
+        small_wl = TPCCWorkload(total_pages=3_000, seed=5)
+        large_wl = TPCCWorkload(total_pages=3_000, seed=5)
+        small = DB2Client(database=small_wl.database, buffer_pages=150, seed=1)
+        large = DB2Client(database=large_wl.database, buffer_pages=1_500, seed=1)
+        small_requests = small.run(small_wl.operations(transactions=400))
+        large_requests = large.run(large_wl.operations(transactions=400))
+        assert len(small_requests) > len(large_requests)
+        assert small.first_tier_hit_ratio() < large.first_tier_hit_ratio()
+
+    def test_collect_trace_packages_metadata(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        trace = client.collect_trace(
+            tpcc.operations(transactions=500), target_requests=500, name="test-trace"
+        )
+        assert trace.name == "test-trace"
+        assert len(trace) == 500
+        assert trace.metadata["buffer_pages"] == 300
+        assert 0.0 <= trace.metadata["first_tier_hit_ratio"] <= 1.0
+
+    def test_target_request_truncation(self, tpcc):
+        client = DB2Client(database=tpcc.database, buffer_pages=300, seed=1)
+        requests = client.run(tpcc.operations(transactions=2_000), target_requests=250)
+        assert len(requests) == 250
+
+    def test_invalid_buffer_rejected(self, tpcc):
+        with pytest.raises(ValueError):
+            DB2Client(database=tpcc.database, buffer_pages=0)
+
+
+class TestMySQLClient:
+    def test_emits_four_mysql_hint_types(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=300, seed=1)
+        requests = client.run(tpch.operations(queries=3))
+        assert requests
+        for request in requests[:50]:
+            assert request.hints.names == ("thread_id", "request_type", "file_id", "fix_count")
+
+    def test_request_type_restricted_to_three_values(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=200, seed=1)
+        values = {r.hints.get("request_type") for r in client.run(tpch.operations(queries=10))}
+        assert values <= set(RequestType.MYSQL_VALUES)
+
+    def test_single_buffer_pool(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=200, seed=1)
+        assert list(client.pools()) == [0]
+
+    def test_table_and_its_index_share_file_id(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=200, seed=1)
+        table = tpch.database["LINEITEM"]
+        index = tpch.database["LINEITEM_PK"]
+        assert client._file_ids[table.object_id] == client._file_ids[index.object_id]
+        other = tpch.database["ORDERS"]
+        assert client._file_ids[table.object_id] != client._file_ids[other.object_id]
+
+    def test_thread_ids_within_domain(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=200, num_threads=5, seed=1)
+        threads = {r.hints.get("thread_id") for r in client.run(tpch.operations(queries=12))}
+        assert threads <= set(range(5))
+        assert len(threads) > 1
+
+    def test_fix_count_marks_recovery_writes(self, tpch):
+        client = MySQLClient(database=tpch.database, buffer_pages=200, seed=1)
+        requests = client.run(tpch.operations(queries=30))
+        for request in requests:
+            if request.hints.get("request_type") == RequestType.RECOVERY_WRITE:
+                assert request.hints.get("fix_count") == 1
+            else:
+                assert request.hints.get("fix_count") == 0
+
+    def test_invalid_num_threads(self, tpch):
+        with pytest.raises(ValueError):
+            MySQLClient(database=tpch.database, buffer_pages=200, num_threads=0)

@@ -1,0 +1,98 @@
+"""Tests for the standard (Figure 5) trace configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.schema import RequestType
+from repro.workloads.standard import (
+    STANDARD_TRACES,
+    StandardTraceConfig,
+    clic_window_for,
+    server_cache_sizes,
+    standard_trace,
+)
+
+
+class TestConfigurations:
+    def test_all_eight_paper_traces_present(self):
+        assert set(STANDARD_TRACES) == {
+            "DB2_C60", "DB2_C300", "DB2_C540",
+            "DB2_H80", "DB2_H400", "DB2_H720",
+            "MY_H65", "MY_H98",
+        }
+
+    def test_scaled_ratios_match_paper_ratios(self):
+        for config in STANDARD_TRACES.values():
+            paper_ratio = config.paper_buffer_pages / config.paper_database_pages
+            scaled_ratio = config.buffer_pages / config.database_pages
+            assert scaled_ratio == pytest.approx(paper_ratio, rel=0.05)
+
+    def test_cache_sweeps_defined(self):
+        for name in STANDARD_TRACES:
+            sizes = server_cache_sizes(name)
+            assert len(sizes) >= 3
+            assert sizes == sorted(sizes)
+
+    def test_mysql_configs_skip_q18_and_refreshes(self):
+        for name in ("MY_H65", "MY_H98"):
+            config = STANDARD_TRACES[name]
+            assert 18 in config.tpch_skip_queries
+            assert config.tpch_include_refresh is False
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(KeyError):
+            standard_trace("NOPE", target_requests=10)
+        with pytest.raises(KeyError):
+            server_cache_sizes("NOPE")
+
+    def test_tpcc_configs_warm_up_past_large_buffers(self):
+        c540 = STANDARD_TRACES["DB2_C540"]
+        assert c540.warmup_page_target() > c540.buffer_pages
+        h720 = STANDARD_TRACES["DB2_H720"]
+        assert h720.warmup_page_target() == 0
+
+    def test_clic_window_scales_with_trace_length(self):
+        assert clic_window_for(600_000) > clic_window_for(60_000)
+        assert clic_window_for(100) >= 2_000
+
+
+class TestTraceGeneration:
+    def test_db2_trace_carries_db2_hints(self):
+        trace = standard_trace("DB2_C60", seed=3, target_requests=2_000)
+        assert len(trace) == 2_000
+        summary = trace.summary()
+        assert summary.distinct_hint_sets > 5
+        assert trace[0].hints.names[0] == "pool_id"
+
+    def test_mysql_trace_carries_mysql_hints(self):
+        trace = standard_trace("MY_H65", seed=3, target_requests=2_000)
+        assert trace[0].hints.names == ("thread_id", "request_type", "file_id", "fix_count")
+
+    def test_deterministic_for_fixed_seed(self):
+        a = standard_trace("DB2_C60", seed=7, target_requests=1_000)
+        b = standard_trace("DB2_C60", seed=7, target_requests=1_000)
+        assert [(r.page, r.kind, r.hints.key()) for r in a] == [
+            (r.page, r.kind, r.hints.key()) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = standard_trace("DB2_C60", seed=1, target_requests=1_000)
+        b = standard_trace("DB2_C60", seed=2, target_requests=1_000)
+        assert [r.page for r in a] != [r.page for r in b]
+
+    def test_metadata_records_configuration(self):
+        trace = standard_trace("DB2_C60", seed=3, target_requests=1_000)
+        assert trace.metadata["config"] == "DB2_C60"
+        assert trace.metadata["buffer_pages"] == 1_200
+        assert trace.metadata["paper_buffer_pages"] == 60_000
+
+    def test_client_id_override_for_multi_client_experiments(self):
+        trace = standard_trace("DB2_C60", seed=3, target_requests=500, client_id="tenant-1")
+        assert all(r.client_id == "tenant-1" for r in trace)
+
+    def test_write_hints_present_in_tpcc_trace(self):
+        trace = standard_trace("DB2_C60", seed=5, target_requests=4_000)
+        types = {r.hints.get("request_type") for r in trace}
+        assert RequestType.REPLACEMENT_WRITE in types
+        assert RequestType.READ in types

@@ -1,0 +1,138 @@
+"""Tests for the TPC-C-like and TPC-H-like workload models."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.access import PageAccess, ScanAccess
+from repro.workloads.tpcc import TPCC_TRANSACTION_MIX, TPCCWorkload
+from repro.workloads.tpch import TPCH_QUERY_TEMPLATES, TPCHWorkload
+
+
+class TestTPCCWorkload:
+    def test_transaction_mix_sums_to_one(self):
+        assert sum(TPCC_TRANSACTION_MIX.values()) == pytest.approx(1.0)
+
+    def test_layout_matches_requested_size(self):
+        workload = TPCCWorkload(total_pages=12_000, seed=1)
+        assert 0.9 * 12_000 <= workload.database.total_pages <= 1.1 * 12_000
+
+    def test_layout_has_tables_and_indexes_in_two_pools(self):
+        workload = TPCCWorkload(total_pages=5_000, seed=1)
+        assert workload.database.pool_ids() == {0, 1}
+        names = {obj.name for obj in workload.database.objects()}
+        assert {"STOCK", "CUSTOMER", "ORDER_LINE", "STOCK_PK"} <= names
+        # Figure 2 reports 21 distinct object ids for the TPC-C trace.
+        assert workload.database.object_count() >= 20
+
+    def test_operations_reference_valid_pages(self):
+        workload = TPCCWorkload(total_pages=3_000, seed=2)
+        for op in workload.operations(transactions=50):
+            assert isinstance(op, PageAccess)
+            assert 0 <= op.page_index < op.obj.page_count
+
+    def test_database_grows_with_transactions(self):
+        workload = TPCCWorkload(total_pages=3_000, seed=3)
+        before = workload.database.total_pages
+        list(workload.operations(transactions=300))
+        assert workload.database.total_pages > before
+
+    def test_deterministic_given_seed(self):
+        a = TPCCWorkload(total_pages=3_000, seed=9)
+        b = TPCCWorkload(total_pages=3_000, seed=9)
+        ops_a = [(op.obj.name, op.page_index, op.write) for op in a.operations(20)]
+        ops_b = [(op.obj.name, op.page_index, op.write) for op in b.operations(20)]
+        assert ops_a == ops_b
+
+    def test_different_seeds_differ(self):
+        a = TPCCWorkload(total_pages=3_000, seed=1)
+        b = TPCCWorkload(total_pages=3_000, seed=2)
+        ops_a = [(op.obj.name, op.page_index) for op in a.operations(20)]
+        ops_b = [(op.obj.name, op.page_index) for op in b.operations(20)]
+        assert ops_a != ops_b
+
+    def test_mix_of_reads_and_writes(self):
+        workload = TPCCWorkload(total_pages=3_000, seed=4)
+        ops = list(workload.operations(transactions=200))
+        writes = sum(1 for op in ops if op.write)
+        assert 0 < writes < len(ops)
+
+    def test_transaction_counter(self):
+        workload = TPCCWorkload(total_pages=3_000, seed=5)
+        list(workload.operations(transactions=7))
+        assert workload.transactions_generated == 7
+
+    def test_too_small_database_rejected(self):
+        with pytest.raises(ValueError):
+            TPCCWorkload(total_pages=50)
+
+    def test_delivery_backlog_validated(self):
+        with pytest.raises(ValueError):
+            TPCCWorkload(total_pages=3_000, delivery_backlog=-1)
+
+
+class TestTPCHWorkload:
+    def test_all_22_query_templates_defined(self):
+        assert set(TPCH_QUERY_TEMPLATES) == set(range(1, 23))
+
+    def test_layout_matches_requested_size(self):
+        workload = TPCHWorkload(total_pages=16_000, seed=1)
+        assert 0.9 * 16_000 <= workload.database.total_pages <= 1.1 * 16_000
+
+    def test_lineitem_is_largest_table(self):
+        workload = TPCHWorkload(total_pages=8_000, seed=1)
+        sizes = {obj.name: obj.page_count for obj in workload.database.objects()}
+        assert sizes["LINEITEM"] == max(sizes.values())
+
+    def test_operations_include_scans_and_lookups(self):
+        workload = TPCHWorkload(total_pages=4_000, seed=2)
+        ops = list(workload.operations(queries=5))
+        assert any(isinstance(op, ScanAccess) for op in ops)
+        assert any(isinstance(op, PageAccess) for op in ops)
+
+    def test_scan_ranges_are_stable_across_rounds(self):
+        # Disable refreshes so two consecutive rounds contain exactly the same
+        # 22 queries in the same order.
+        workload = TPCHWorkload(total_pages=4_000, seed=3, include_refresh=False)
+        first_round = [
+            (op.obj.name, op.start_index, op.length)
+            for op in workload.operations(queries=22)
+            if isinstance(op, ScanAccess)
+        ]
+        second_round = [
+            (op.obj.name, op.start_index, op.length)
+            for op in workload.operations(queries=22)
+            if isinstance(op, ScanAccess)
+        ]
+        assert first_round == second_round
+
+    def test_skip_queries(self):
+        workload = TPCHWorkload(total_pages=4_000, skip_queries=(18,), seed=1)
+        assert 18 not in workload._queries
+        assert len(workload._queries) == 21
+
+    def test_all_queries_skipped_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHWorkload(total_pages=4_000, skip_queries=tuple(range(1, 23)))
+
+    def test_refresh_functions_add_writes(self):
+        with_refresh = TPCHWorkload(total_pages=4_000, include_refresh=True, seed=5)
+        ops = list(with_refresh.operations(queries=23))
+        writes = [op for op in ops if isinstance(op, PageAccess) and op.write]
+        assert writes
+
+    def test_no_refresh_for_mysql_style_runs(self):
+        workload = TPCHWorkload(total_pages=4_000, include_refresh=False, skip_queries=(18,), seed=5)
+        # One full round of queries: only TEMP spills may write.
+        ops = list(workload.operations(queries=21))
+        writers = {op.obj.name for op in ops if isinstance(op, PageAccess) and op.write}
+        assert writers <= {"TEMP_SORT"}
+
+    def test_scans_within_bounds(self):
+        workload = TPCHWorkload(total_pages=4_000, seed=6)
+        for op in workload.operations(queries=22):
+            if isinstance(op, ScanAccess):
+                assert op.start_index >= 0
+                assert op.start_index < op.obj.page_count
