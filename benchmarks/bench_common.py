@@ -24,8 +24,14 @@ __all__ = ["BENCH_SETTINGS", "print_sweep", "print_rows"]
 
 _DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "60000"))
 _DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "17"))
+#: Worker processes for the sweep grids (REPRO_BENCH_JOBS=N to parallelise;
+#: the default of 1 keeps the regenerated numbers bit-identical to the
+#: historical serial runs — any N produces the same output, only faster).
+_DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
-BENCH_SETTINGS = ExperimentSettings(target_requests=_DEFAULT_REQUESTS, seed=_DEFAULT_SEED)
+BENCH_SETTINGS = ExperimentSettings(
+    target_requests=_DEFAULT_REQUESTS, seed=_DEFAULT_SEED, jobs=_DEFAULT_JOBS
+)
 
 
 def print_sweep(title: str, sweep) -> None:

@@ -1,0 +1,170 @@
+"""Microbenchmark: shared-replay engine + parallel sweep vs. the seed path.
+
+The seed implementation of ``sweep_cache_sizes`` replayed the request stream
+once per (policy, cache-size) cell, strictly serially.  This benchmark runs
+the same 4-policy x 4-size grid three ways and verifies they produce
+identical read hit ratios:
+
+1. ``seed serial``    — a faithful replica of the seed path: one fresh
+                        :class:`CacheSimulator` pass per cell;
+2. ``engine serial``  — the shared-replay engine (``jobs=1``): one trace
+                        pass feeds every policy of the grid, with the OPT
+                        future-read index built once and shared;
+3. ``engine jobs=N``  — the same grid fanned out over worker processes.
+
+Run it standalone (CI runs this as a smoke test)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --requests 20000
+
+The speedup of (2) over (1) is pure single-core amortisation; (3) adds
+process-level parallelism on top and is only expected to win wall-clock on
+multi-core machines — the benchmark reports the CPU budget it sees and
+scales its pass/fail thresholds accordingly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.cache.registry import create_policy
+from repro.experiments.common import ExperimentSettings, generate_trace
+from repro.simulation.simulator import CacheSimulator
+from repro.simulation.sweep import sweep_cache_sizes
+
+DEFAULT_POLICIES = ("OPT", "LRU", "ARC", "TQ")
+DEFAULT_SIZES = (450, 900, 1_800, 3_600)
+
+
+def seed_serial_sweep(requests, cache_sizes, policies):
+    """The seed implementation: one independent simulator pass per cell."""
+    curves = {}
+    for name in policies:
+        curves[name] = []
+        for capacity in cache_sizes:
+            policy = create_policy(name, capacity=capacity)
+            result = CacheSimulator(policy).run(requests)
+            curves[name].append((float(capacity), result.read_hit_ratio))
+    return curves
+
+
+def engine_sweep(requests, cache_sizes, policies, jobs):
+    sweep = sweep_cache_sizes(requests, cache_sizes, policies, jobs=jobs)
+    return {name: sweep.curve(name) for name in policies}
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default="DB2_C300", help="standard trace name")
+    parser.add_argument("--requests", type=int, default=40_000)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES),
+        help="comma-separated policy names",
+    )
+    parser.add_argument(
+        "--sizes", default=",".join(str(s) for s in DEFAULT_SIZES),
+        help="comma-separated cache sizes (pages)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="time each path as the best of N repeats (default: 3)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="report timings only; skip the speedup thresholds",
+    )
+    args = parser.parse_args(argv)
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    if not policies:
+        parser.error("--policies must name at least one policy")
+    if not sizes:
+        parser.error("--sizes must name at least one cache size")
+
+    settings = ExperimentSettings(target_requests=args.requests, seed=args.seed)
+    requests = generate_trace(args.trace, settings).requests()
+    print(
+        f"trace={args.trace} requests={len(requests)} "
+        f"grid={len(policies)} policies x {len(sizes)} sizes "
+        f"({', '.join(policies)})"
+    )
+
+    def timed(fn):
+        best, curves = None, None
+        for _ in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            curves = fn()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best, curves
+
+    timings = {}
+    timings["seed serial"], seed_curves = timed(
+        lambda: seed_serial_sweep(requests, sizes, policies)
+    )
+    timings["engine serial"], engine_curves = timed(
+        lambda: engine_sweep(requests, sizes, policies, jobs=1)
+    )
+    timings[f"engine jobs={args.jobs}"], parallel_curves = timed(
+        lambda: engine_sweep(requests, sizes, policies, jobs=args.jobs)
+    )
+
+    # --- Correctness: all three paths must agree exactly.
+    for name in policies:
+        assert engine_curves[name] == seed_curves[name], (
+            f"{name}: engine serial diverged from the seed path"
+        )
+        assert parallel_curves[name] == seed_curves[name], (
+            f"{name}: engine jobs={args.jobs} diverged from the seed path"
+        )
+    print("hit-ratio output: identical across all three paths")
+
+    baseline = timings["seed serial"]
+    print(f"\n{'path':<20} {'seconds':>8} {'speedup':>8}")
+    for path, seconds in timings.items():
+        print(f"{path:<20} {seconds:>8.3f} {baseline / seconds:>7.2f}x")
+
+    shared_speedup = baseline / timings["engine serial"]
+    best_speedup = baseline / min(
+        timings["engine serial"], timings[f"engine jobs={args.jobs}"]
+    )
+    cpus = usable_cpus()
+    print(f"\nusable CPUs: {cpus}")
+    if args.no_check:
+        return 0
+
+    ok = True
+    if shared_speedup <= 1.0:
+        print("FAIL: shared replay should beat the per-cell seed path")
+        ok = False
+    if cpus >= 4:
+        threshold = 2.0
+    elif cpus >= 2:
+        threshold = 1.2
+    else:
+        # Single-CPU machine: process-level parallelism cannot reduce
+        # wall-clock, so only the shared-replay amortisation counts.
+        threshold = 1.1
+    if best_speedup < threshold:
+        print(f"FAIL: best speedup {best_speedup:.2f}x below {threshold:.1f}x "
+              f"threshold for {cpus} CPU(s)")
+        ok = False
+    if ok:
+        print(f"PASS: best speedup {best_speedup:.2f}x "
+              f"(threshold {threshold:.1f}x for {cpus} CPU(s))")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,11 +128,14 @@ class CachePolicy(abc.ABC):
         """Cache capacity in pages."""
         return self._capacity
 
-    def prepare(self, requests: Sequence[IORequest]) -> None:
+    def prepare(self, requests: Sequence[IORequest], start_seq: int = 0) -> None:
         """Give offline policies (OPT) the full request stream in advance.
 
         Online policies ignore this.  The simulator calls it once before the
         first :meth:`access` when the policy declares ``offline = True``.
+        ``start_seq`` is the sequence number the simulator will assign to
+        ``requests[0]``; offline policies must index future positions in the
+        same numbering that :meth:`access` will see.
         """
 
     @abc.abstractmethod

@@ -49,12 +49,35 @@ class OPTPolicy(CachePolicy):
         self._heap: list[tuple[float, int]] = [] # (-next_read, page), lazy deletion
 
     # --------------------------------------------------------------- set-up
-    def prepare(self, requests: Sequence[IORequest]) -> None:
-        """Index the future read positions of every page in the stream."""
-        self._read_positions = {}
-        for pos, request in enumerate(requests):
+    @staticmethod
+    def build_read_index(
+        requests: Sequence[IORequest], start_seq: int = 0
+    ) -> dict[int, list[int]]:
+        """Index the future read positions of every page in the stream.
+
+        Positions are numbered from ``start_seq``, matching the sequence
+        numbers the simulator assigns during replay.  The index depends only
+        on the stream (not on the cache capacity), so one index can be shared
+        by many :class:`OPTPolicy` instances via :meth:`adopt_read_index`.
+        """
+        read_positions: dict[int, list[int]] = {}
+        for pos, request in enumerate(requests, start_seq):
             if request.is_read:
-                self._read_positions.setdefault(request.page, []).append(pos)
+                read_positions.setdefault(request.page, []).append(pos)
+        return read_positions
+
+    def prepare(self, requests: Sequence[IORequest], start_seq: int = 0) -> None:
+        """Index the future read positions of every page in the stream."""
+        self._read_positions = self.build_read_index(requests, start_seq)
+        self._prepared = True
+
+    def adopt_read_index(self, read_positions: dict[int, list[int]]) -> None:
+        """Adopt a pre-built future-read index (treated as read-only).
+
+        The multi-policy engine uses this to build the index once per request
+        stream and share it across every OPT instance in a sweep.
+        """
+        self._read_positions = read_positions
         self._prepared = True
 
     def _next_read(self, page: int, seq: int) -> float:

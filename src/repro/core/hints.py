@@ -208,8 +208,17 @@ class HintSet:
         The hint-type names are implied by the client's schema, so the key
         omits them.  This is the representation used in the hint table and in
         the Space-Saving summary, where memory per tracked hint set matters.
+
+        The key is memoised on the instance: traces reuse hint-set objects
+        heavily and every policy asks for the key on every request, so a
+        multi-policy replay pays the tuple construction once per distinct
+        hint set rather than once per request per policy.
         """
-        return (self.client_id, self.values)
+        key = self.__dict__.get("_key")
+        if key is None:
+            key = (self.client_id, self.values)
+            object.__setattr__(self, "_key", key)
+        return key
 
     def extended(self, extra_names: Iterable[str], extra_values: Iterable[object]) -> "HintSet":
         """Return a new hint set with additional hint types appended.

@@ -43,6 +43,10 @@ class TrackedItem:
     item: Hashable
     count: int
     error: int
+    #: Tie-break of the item's most recent heap entry.  Kept on the item so
+    #: that compacting the lazy heap preserves the exact pop order among
+    #: equal-count items.
+    tiebreak: int = 0
 
     @property
     def guaranteed_count(self) -> int:
@@ -72,6 +76,11 @@ class SpaceSaving:
         self._heap: list[tuple[int, int, Hashable]] = []
         self._tiebreak = itertools.count()
         self._processed = 0
+        # Every increment pushes a fresh heap entry and leaves the old one
+        # stale, so without compaction the heap grows with the stream length.
+        # Rebuilding from the k live entries once the heap passes this bound
+        # keeps memory O(k) at amortised O(1) extra cost per update.
+        self._compact_limit = max(4 * k, 32)
 
     # --------------------------------------------------------------- update
     @property
@@ -94,20 +103,43 @@ class SpaceSaving:
         entry = self._items.get(item)
         if entry is not None:
             entry.count += 1
-            heapq.heappush(self._heap, (entry.count, next(self._tiebreak), item))
+            self._push(entry)
             return None, True
         if len(self._items) < self._k:
             entry = TrackedItem(item=item, count=1, error=0)
             self._items[item] = entry
-            heapq.heappush(self._heap, (1, next(self._tiebreak), item))
+            self._push(entry)
             return None, True
         victim = self._pop_min()
         min_count = self._items[victim].count
         del self._items[victim]
         entry = TrackedItem(item=item, count=min_count + 1, error=min_count)
         self._items[item] = entry
-        heapq.heappush(self._heap, (entry.count, next(self._tiebreak), item))
+        self._push(entry)
         return victim, True
+
+    def _push(self, entry: TrackedItem) -> None:
+        entry.tiebreak = next(self._tiebreak)
+        heapq.heappush(self._heap, (entry.count, entry.tiebreak, entry.item))
+        if len(self._heap) > self._compact_limit:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop stale heap entries, rebuilding from the live counters.
+
+        Each item's live entry is reconstructed from the (count, tiebreak)
+        stored on its :class:`TrackedItem`, so the pop order — including ties
+        — is exactly what lazy deletion would have produced.
+        """
+        self._heap = [
+            (entry.count, entry.tiebreak, item) for item, entry in self._items.items()
+        ]
+        heapq.heapify(self._heap)
+
+    @property
+    def heap_size(self) -> int:
+        """Current size of the lazy heap (bounded by a small multiple of k)."""
+        return len(self._heap)
 
     def _pop_min(self) -> Hashable:
         """Pop and return the currently tracked item with the minimum count."""

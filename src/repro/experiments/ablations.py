@@ -4,17 +4,24 @@ The paper fixes ``W = 10^6``, ``r = 1`` and ``Noutq = 5`` entries per cached
 page; these ablations sweep each knob to show how sensitive the scaled
 reproduction is to them, and quantify the cost of charging CLIC for its
 metadata (Section 6.1's ~1% cache-size reduction).
+
+Each ablation is a generic single-policy parameter sweep through the shared
+engine: the policy factory is a picklable partial application of
+:func:`_make_clic`, so ``settings.jobs > 1`` distributes the sweep cells over
+worker processes.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from functools import partial
 from typing import Sequence
 
 from repro.core.clic import CLICPolicy
 from repro.core.config import CLICConfig
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
 from repro.simulation.metrics import SweepResult
-from repro.simulation.simulator import CacheSimulator
+from repro.simulation.sweep import sweep_policy_parameter
 from repro.workloads.standard import clic_window_for
 
 __all__ = [
@@ -25,8 +32,30 @@ __all__ = [
 ]
 
 
-def _run_clic(requests, cache_size: int, config: CLICConfig):
-    return CacheSimulator(CLICPolicy(capacity=cache_size, config=config)).run(requests)
+def _make_clic(base_config: CLICConfig, config_field: str, value, capacity: int) -> CLICPolicy:
+    """Build CLIC with *base_config*, overriding one configuration field."""
+    config = dataclasses.replace(base_config, **{config_field: value})
+    return CLICPolicy(capacity=capacity, config=config)
+
+
+def _sweep_clic_config_field(
+    requests,
+    cache_size: int,
+    base_config: CLICConfig,
+    config_field: str,
+    values: Sequence[object],
+    label: str,
+    jobs: int,
+) -> SweepResult:
+    return sweep_policy_parameter(
+        requests,
+        capacity=cache_size,
+        parameter=config_field,
+        values=values,
+        make_policy=partial(_make_clic, base_config, config_field),
+        label=label,
+        jobs=jobs,
+    )
 
 
 def run_window_ablation(
@@ -37,12 +66,16 @@ def run_window_ablation(
 ) -> SweepResult:
     """Sensitivity of the hit ratio to the statistics window W (Section 3.2)."""
     trace = generate_trace(trace_name, settings)
-    requests = trace.requests()
-    sweep = SweepResult(parameter="window_size")
-    for window in window_sizes:
-        config = CLICConfig(window_size=window, decay=settings.decay, outqueue_factor=settings.outqueue_factor)
-        sweep.add(trace_name, float(window), _run_clic(requests, cache_size, config))
-    return sweep
+    # The base window_size is a placeholder: every cell overrides it.
+    base = CLICConfig(
+        window_size=1,
+        decay=settings.decay,
+        outqueue_factor=settings.outqueue_factor,
+    )
+    return _sweep_clic_config_field(
+        trace.requests(), cache_size, base, "window_size", list(window_sizes),
+        label=trace_name, jobs=settings.jobs,
+    )
 
 
 def run_decay_ablation(
@@ -53,13 +86,15 @@ def run_decay_ablation(
 ) -> SweepResult:
     """Sensitivity to the exponential-smoothing weight r (Equation 3)."""
     trace = generate_trace(trace_name, settings)
-    requests = trace.requests()
-    window = clic_window_for(settings.target_requests)
-    sweep = SweepResult(parameter="decay")
-    for decay in decays:
-        config = CLICConfig(window_size=window, decay=decay, outqueue_factor=settings.outqueue_factor)
-        sweep.add(trace_name, float(decay), _run_clic(requests, cache_size, config))
-    return sweep
+    base = CLICConfig(
+        window_size=clic_window_for(settings.target_requests),
+        decay=settings.decay,
+        outqueue_factor=settings.outqueue_factor,
+    )
+    return _sweep_clic_config_field(
+        trace.requests(), cache_size, base, "decay", list(decays),
+        label=trace_name, jobs=settings.jobs,
+    )
 
 
 def run_outqueue_ablation(
@@ -75,13 +110,15 @@ def run_outqueue_ablation(
     caching — this ablation shows what that costs.
     """
     trace = generate_trace(trace_name, settings)
-    requests = trace.requests()
-    window = clic_window_for(settings.target_requests)
-    sweep = SweepResult(parameter="outqueue_factor")
-    for factor in outqueue_factors:
-        config = CLICConfig(window_size=window, decay=settings.decay, outqueue_factor=factor)
-        sweep.add(trace_name, float(factor), _run_clic(requests, cache_size, config))
-    return sweep
+    base = CLICConfig(
+        window_size=clic_window_for(settings.target_requests),
+        decay=settings.decay,
+        outqueue_factor=settings.outqueue_factor,
+    )
+    return _sweep_clic_config_field(
+        trace.requests(), cache_size, base, "outqueue_factor", list(outqueue_factors),
+        label=trace_name, jobs=settings.jobs,
+    )
 
 
 def run_metadata_charge_ablation(
@@ -91,15 +128,12 @@ def run_metadata_charge_ablation(
 ) -> SweepResult:
     """Cost of paying for CLIC's metadata out of the cache (Section 6.1)."""
     trace = generate_trace(trace_name, settings)
-    requests = trace.requests()
-    window = clic_window_for(settings.target_requests)
-    sweep = SweepResult(parameter="charge_metadata")
-    for charged in (False, True):
-        config = CLICConfig(
-            window_size=window,
-            decay=settings.decay,
-            outqueue_factor=settings.outqueue_factor,
-            charge_metadata=charged,
-        )
-        sweep.add(trace_name, float(charged), _run_clic(requests, cache_size, config))
-    return sweep
+    base = CLICConfig(
+        window_size=clic_window_for(settings.target_requests),
+        decay=settings.decay,
+        outqueue_factor=settings.outqueue_factor,
+    )
+    return _sweep_clic_config_field(
+        trace.requests(), cache_size, base, "charge_metadata", [False, True],
+        label=trace_name, jobs=settings.jobs,
+    )

@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=17, help="workload seed (default: 17)")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep grids (default: 1 = serial; "
+        "results are identical at any job count)",
+    )
+    parser.add_argument(
         "--csv-dir",
         type=Path,
         default=None,
@@ -87,7 +94,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args.experiments:
         parser.error("no experiments given (use --list to see what is available)")
 
-    settings = ExperimentSettings(target_requests=args.requests, seed=args.seed)
+    settings = ExperimentSettings(
+        target_requests=args.requests, seed=args.seed, jobs=args.jobs
+    )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
 

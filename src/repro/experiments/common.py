@@ -34,6 +34,8 @@ class ExperimentSettings:
     decay: float = 1.0               # the paper's r
     outqueue_factor: float = 5.0     # the paper's Noutq (entries per cache page)
     top_k: int | None = None         # None = exact hint table (Sections 3-4)
+    #: Worker processes for sweep grids (1 = serial, bit-identical results).
+    jobs: int = 1
 
     def clic_config(self, top_k: int | None = None, window_size: int | None = None) -> CLICConfig:
         """CLIC configuration matching the paper's settings, scaled to the trace length."""

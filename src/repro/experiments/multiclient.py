@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.clic import CLICPolicy
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.simulation.engine import ParallelSweepRunner, PolicySpec, SweepCell
 from repro.simulation.multiclient import interleave_round_robin, partition_capacity
-from repro.simulation.simulator import CacheSimulator
 
 __all__ = ["MultiClientResult", "run_multiclient_experiment"]
 
@@ -75,24 +74,55 @@ def run_multiclient_experiment(
     ]
     client_ids = [f"client-{name}" for name in trace_names]
 
-    # --- Shared cache over the round-robin interleaved workload.
+    # --- One engine grid: the shared-cache cell replays the round-robin
+    # interleaved workload, and one private-cache cell per client replays
+    # that client's full-length (untruncated) trace, as in the paper.
+    # ``settings.jobs > 1`` runs the cells on worker processes.
+    config = settings.clic_config()
     interleaved = interleave_round_robin([trace.requests() for trace in traces])
-    shared_policy = CLICPolicy(capacity=shared_cache_size, config=settings.clic_config())
-    shared_result = CacheSimulator(shared_policy).run(interleaved)
+    private_sizes = partition_capacity(shared_cache_size, len(traces))
+    cells = [
+        SweepCell(
+            x=0.0,
+            specs=(
+                PolicySpec(
+                    label="shared",
+                    name="CLIC",
+                    capacity=shared_cache_size,
+                    kwargs={"config": config},
+                ),
+            ),
+            requests=interleaved,
+        )
+    ]
+    for index, (name, trace, size) in enumerate(zip(trace_names, traces, private_sizes)):
+        cells.append(
+            SweepCell(
+                x=float(index + 1),
+                specs=(
+                    PolicySpec(
+                        label=f"private:{name}",
+                        name="CLIC",
+                        capacity=size,
+                        kwargs={"config": config},
+                    ),
+                ),
+                requests=trace.requests(),
+            )
+        )
+    grid = ParallelSweepRunner(jobs=settings.jobs).run(cells, parameter="cell")
+
+    shared_result = grid.series["shared"][0].result
     shared_per_client = {
         name: shared_result.client_read_hit_ratio(client_id)
         for name, client_id in zip(trace_names, client_ids)
     }
 
-    # --- Equal static partitioning: a private CLIC cache per client, fed the
-    # full-length (untruncated) per-client trace, as in the paper.
-    private_sizes = partition_capacity(shared_cache_size, len(traces))
     private_per_client: dict[str, float] = {}
     total_hits = 0
     total_reads = 0
-    for name, trace, size in zip(trace_names, traces, private_sizes):
-        policy = CLICPolicy(capacity=size, config=settings.clic_config())
-        result = CacheSimulator(policy).run(trace.requests())
+    for name in trace_names:
+        result = grid.series[f"private:{name}"][0].result
         private_per_client[name] = result.read_hit_ratio
         total_hits += result.stats.read_hits
         total_reads += result.stats.read_requests

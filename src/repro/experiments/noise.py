@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.clic import CLICPolicy
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.simulation.engine import ParallelSweepRunner, PolicySpec, SweepCell
 from repro.simulation.metrics import SweepResult
-from repro.simulation.simulator import CacheSimulator
 from repro.trace.noise import inject_noise_hints
 
 __all__ = ["run_noise_experiment"]
@@ -30,8 +29,14 @@ def run_noise_experiment(
     noise_skew: float = 1.0,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> SweepResult:
-    """CLIC read hit ratio as a function of the number of noise hint types T."""
-    sweep = SweepResult(parameter="noise_hint_types")
+    """CLIC read hit ratio as a function of the number of noise hint types T.
+
+    Every (trace, T) combination replays its own noise-injected stream, so
+    each is a separate sweep cell carrying its stream; ``settings.jobs > 1``
+    runs the cells on worker processes.
+    """
+    config = settings.clic_config(top_k=top_k)
+    cells = []
     for name in trace_names:
         trace = generate_trace(name, settings)
         for t in noise_levels:
@@ -42,8 +47,19 @@ def run_noise_experiment(
                 skew=noise_skew,
                 seed=settings.seed + t,
             )
-            config = settings.clic_config(top_k=top_k)
-            policy = CLICPolicy(capacity=cache_size, config=config)
-            result = CacheSimulator(policy).run(noisy)
-            sweep.add(name, float(t), result)
-    return sweep
+            cells.append(
+                SweepCell(
+                    x=float(t),
+                    specs=(
+                        PolicySpec(
+                            label=name,
+                            name="CLIC",
+                            capacity=cache_size,
+                            kwargs={"config": config},
+                        ),
+                    ),
+                    requests=noisy,
+                )
+            )
+    runner = ParallelSweepRunner(jobs=settings.jobs)
+    return runner.run(cells, parameter="noise_hint_types")

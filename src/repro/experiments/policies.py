@@ -56,6 +56,7 @@ def run_policy_comparison(
             cache_sizes=sizes,
             policies=settings.policies,
             policy_kwargs=policy_kwargs,
+            jobs=settings.jobs,
         )
     return results
 

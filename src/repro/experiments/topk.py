@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.clic import CLICPolicy
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
 from repro.simulation.metrics import SweepResult
-from repro.simulation.simulator import CacheSimulator
+from repro.simulation.sweep import sweep_top_k
 
 __all__ = ["DEFAULT_K_VALUES", "run_topk_experiment"]
 
@@ -32,17 +31,20 @@ def run_topk_experiment(
     ``None`` in *k_values* adds the "track every hint set" reference point
     (plotted by the paper as the right edge of the x-axis).  The default
     ``cache_size`` of 3 600 pages is the scaled equivalent of the paper's
-    180K-page server cache.
+    180K-page server cache.  Each trace's k-cells run through the sweep
+    engine, so ``settings.jobs > 1`` fans them out over worker processes.
     """
     sweep = SweepResult(parameter="k")
     for name in trace_names:
         trace = generate_trace(name, settings)
-        requests = trace.requests()
-        all_hint_sets = len({r.hints.key() for r in requests})
-        for k in k_values:
-            config = settings.clic_config(top_k=k)
-            policy = CLICPolicy(capacity=cache_size, config=config)
-            result = CacheSimulator(policy).run(requests)
-            x = float(all_hint_sets if k is None else k)
-            sweep.add(name, x, result)
+        part = sweep_top_k(
+            trace.requests(),
+            capacity=cache_size,
+            k_values=k_values,
+            base_config=settings.clic_config(),
+            label_for=lambda k, name=name: name,
+            jobs=settings.jobs,
+        )
+        for label, points in part.series.items():
+            sweep.series.setdefault(label, []).extend(points)
     return sweep

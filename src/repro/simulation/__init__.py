@@ -1,5 +1,11 @@
 """Trace-driven simulation of the storage-server cache."""
 
+from repro.simulation.engine import (
+    MultiPolicySimulator,
+    ParallelSweepRunner,
+    PolicySpec,
+    SweepCell,
+)
 from repro.simulation.metrics import SimulationResult, SweepPoint, SweepResult, format_table
 from repro.simulation.multiclient import (
     interleave_round_robin,
@@ -23,6 +29,10 @@ __all__ = [
     "write_request",
     "CacheSimulator",
     "simulate",
+    "MultiPolicySimulator",
+    "ParallelSweepRunner",
+    "PolicySpec",
+    "SweepCell",
     "SimulationResult",
     "SweepPoint",
     "SweepResult",

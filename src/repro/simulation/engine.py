@@ -1,0 +1,392 @@
+"""Shared-replay simulation engine: one trace pass, many policies.
+
+Every figure in the paper's evaluation is a family of curves produced by
+replaying the same trace once per (policy, cache-size) cell.  The seed
+implementation walked the request stream once per cell, strictly serially —
+a 5-policy x 8-size sweep iterated the trace 40 times.  This module provides
+the two building blocks that every sweep now runs through:
+
+* :class:`MultiPolicySimulator` iterates the request stream **once** and
+  feeds each request to N independent policies, amortising trace iteration,
+  per-client statistics bookkeeping and offline preparation (OPT's
+  future-read index is built once and shared by every OPT instance) across
+  the policies.
+* :class:`ParallelSweepRunner` fans (policy, parameter) cells out over a
+  ``concurrent.futures.ProcessPoolExecutor`` and merges the results back
+  into a :class:`~repro.simulation.metrics.SweepResult` in deterministic
+  cell order.  With the default ``jobs=1`` everything runs in-process and
+  the output is identical to the serial path, bit for bit; cells that share
+  a request stream are then folded into a single shared replay pass.
+
+Policies are described by :class:`PolicySpec` (a registry name plus
+constructor arguments, or an arbitrary zero-argument factory) so that cells
+can be pickled to worker processes; specs whose factories cannot be pickled
+make the runner fall back to the serial path with a warning rather than
+fail.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.cache.base import CachePolicy, CacheStats
+from repro.cache.registry import create_policy
+from repro.simulation.metrics import SimulationResult, SweepResult
+from repro.simulation.request import IORequest, RequestKind
+
+__all__ = [
+    "MultiPolicySimulator",
+    "PolicySpec",
+    "SweepCell",
+    "ParallelSweepRunner",
+]
+
+
+class MultiPolicySimulator:
+    """Drives N independent cache policies with a single pass over a stream.
+
+    Feeding every policy from one loop is equivalent to N separate
+    :class:`~repro.simulation.simulator.CacheSimulator` runs — the policies
+    never interact — but pays the trace iteration, the per-client lookup and
+    the read/write classification once per request instead of once per
+    request per policy.  Offline policies exposing ``build_read_index`` /
+    ``adopt_read_index`` (OPT) additionally share one future-read index.
+    """
+
+    def __init__(self, policies: Sequence[CachePolicy], track_per_client: bool = True):
+        self._policies = list(policies)
+        self._track_per_client = track_per_client
+
+    @property
+    def policies(self) -> list[CachePolicy]:
+        return list(self._policies)
+
+    #: Requests per chunk of the replay loop.  Within a chunk each policy
+    #: runs in its own tight loop, so the interpreter's call-site caches stay
+    #: monomorphic and a policy's data structures stay hot for a whole chunk
+    #: instead of being evicted N-1 times per request by the other policies.
+    CHUNK_SIZE = 4096
+
+    def run(
+        self,
+        requests: Iterable[IORequest],
+        start_seq: int = 0,
+    ) -> list[SimulationResult]:
+        """Replay *requests* once through every policy.
+
+        The policies never interact, so the engine is free to reorder work
+        across them; it replays chunk-by-chunk, each policy consuming a whole
+        chunk at a time, which is observably identical to N independent
+        request-by-request runs.  Returns one :class:`SimulationResult` per
+        policy, in policy order.  ``elapsed_seconds`` reports the duration of
+        the shared pass and is therefore the same for every result.
+        """
+        policies = self._policies
+        if not policies:
+            return []
+        if not isinstance(requests, (list, tuple)):
+            requests = list(requests)
+        if any(policy.offline for policy in policies):
+            self._prepare_offline(requests, start_seq)
+
+        n = len(policies)
+        accessors = [policy.access for policy in policies]
+        track = self._track_per_client
+        read_kind = RequestKind.READ
+        chunk_size = self.CHUNK_SIZE
+        # Stats snapshot, so per-client numbers for the single-client fast
+        # path below count only what this run contributed.
+        before = [
+            (p.stats.read_requests, p.stats.read_hits, p.stats.write_requests, p.stats.write_hits)
+            for p in policies
+        ]
+
+        started = time.perf_counter()
+        # client_id -> [read_requests, write_requests, read hits per policy,
+        # write hits per policy].  The request counts are policy-independent,
+        # so they are counted once, up front, and shared by all N per-client
+        # results; ``targets`` maps each request to the hit-counter list its
+        # hits go to.
+        per_client: dict[str, list] = {}
+        targets: list[list[int]] = []
+        clients = {request.client_id for request in requests} if track else set()
+        if track and len(clients) > 1:
+            append_target = targets.append
+            for request in requests:
+                row = per_client.get(request.client_id)
+                if row is None:
+                    row = [0, 0, [0] * n, [0] * n]
+                    per_client[request.client_id] = row
+                if request.kind is read_kind:
+                    row[0] += 1
+                    append_target(row[2])
+                else:
+                    row[1] += 1
+                    append_target(row[3])
+
+        if not track or len(clients) <= 1:
+            # Single-client stream (every standard trace): the one client's
+            # request and hit counts equal the policy's own counters, so the
+            # replay loop needs no per-request bookkeeping at all — ``map``
+            # drives each policy through a whole chunk at C speed.
+            for chunk_start in range(0, len(requests), chunk_size):
+                chunk = requests[chunk_start : chunk_start + chunk_size]
+                seqs = range(
+                    start_seq + chunk_start, start_seq + chunk_start + len(chunk)
+                )
+                for access in accessors:
+                    deque(map(access, chunk, seqs), maxlen=0)
+            if track and clients:
+                stats = policies[0].stats
+                b0 = before[0]
+                per_client[next(iter(clients))] = [
+                    stats.read_requests - b0[0],
+                    stats.write_requests - b0[2],
+                    [p.stats.read_hits - b[1] for p, b in zip(policies, before)],
+                    [p.stats.write_hits - b[3] for p, b in zip(policies, before)],
+                ]
+        else:
+            for chunk_start in range(0, len(requests), chunk_size):
+                chunk = requests[chunk_start : chunk_start + chunk_size]
+                chunk_targets = targets[chunk_start : chunk_start + chunk_size]
+                chunk_seq = start_seq + chunk_start
+                for j in range(n):
+                    access = accessors[j]
+                    seq = chunk_seq
+                    for request, hits in zip(chunk, chunk_targets):
+                        if access(request, seq):
+                            hits[j] += 1
+                        seq += 1
+        elapsed = time.perf_counter() - started
+
+        results = []
+        for j, policy in enumerate(policies):
+            client_stats = {
+                client_id: CacheStats(
+                    read_requests=row[0],
+                    read_hits=row[2][j],
+                    write_requests=row[1],
+                    write_hits=row[3][j],
+                )
+                for client_id, row in per_client.items()
+            }
+            results.append(
+                SimulationResult(
+                    policy_name=policy.name,
+                    capacity=policy.capacity,
+                    stats=policy.stats,
+                    per_client=client_stats,
+                    elapsed_seconds=elapsed,
+                )
+            )
+        return results
+
+    def _prepare_offline(self, requests: Sequence[IORequest], start_seq: int) -> None:
+        """Prepare offline policies, sharing one future index per policy type."""
+        shared_indexes: dict[type, object] = {}
+        for policy in self._policies:
+            if not policy.offline:
+                continue
+            cls = type(policy)
+            if hasattr(cls, "build_read_index") and hasattr(policy, "adopt_read_index"):
+                index = shared_indexes.get(cls)
+                if index is None:
+                    index = cls.build_read_index(requests, start_seq)
+                    shared_indexes[cls] = index
+                policy.adopt_read_index(index)
+            else:
+                policy.prepare(requests, start_seq)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable description of one policy instance in a sweep cell.
+
+    Either ``name``/``capacity`` (resolved through the policy registry, with
+    ``kwargs`` forwarded to the constructor) or an arbitrary zero-argument
+    ``factory``.  Factories must be picklable (module-level functions or
+    :func:`functools.partial` of them) to run under ``jobs > 1``; otherwise
+    the runner falls back to the serial path.
+    """
+
+    label: str
+    name: str | None = None
+    capacity: int | None = None
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+    factory: Callable[[], CachePolicy] | None = None
+
+    def build(self) -> CachePolicy:
+        if self.factory is not None:
+            return self.factory()
+        if self.name is None or self.capacity is None:
+            raise ValueError(
+                f"PolicySpec {self.label!r} needs either a factory or name+capacity"
+            )
+        return create_policy(self.name, capacity=self.capacity, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One x-coordinate of a sweep: the policies that share a replay pass.
+
+    ``requests`` overrides the runner's shared stream for this cell (used by
+    sweeps whose cells replay different streams, e.g. the noise-injection
+    experiment); ``None`` means the runner's stream.
+    """
+
+    x: float
+    specs: tuple[PolicySpec, ...]
+    requests: Sequence[IORequest] | None = None
+
+
+# Per-worker copy of the runner's shared request stream, installed once per
+# worker process by the pool initializer instead of being pickled per cell.
+_WORKER_REQUESTS: Sequence[IORequest] | None = None
+
+
+def _init_worker(requests: Sequence[IORequest] | None) -> None:
+    global _WORKER_REQUESTS
+    _WORKER_REQUESTS = requests
+
+
+def _run_cells(
+    cells: Sequence[SweepCell],
+    default_requests: Sequence[IORequest] | None,
+    track_per_client: bool,
+) -> list[list[SimulationResult]]:
+    """Run *cells*, folding same-stream cells into one shared replay pass.
+
+    Cells are grouped by request-stream identity: all their policies are
+    independent, so one :class:`MultiPolicySimulator` pass per distinct
+    stream covers every cell of that stream.  Used both by the serial path
+    (with all cells) and inside each worker process (with that worker's
+    batch of cells).
+    """
+    groups: dict[int, list[int]] = {}
+    streams: dict[int, Sequence[IORequest]] = {}
+    for index, cell in enumerate(cells):
+        stream = cell.requests if cell.requests is not None else default_requests
+        if stream is None:
+            raise ValueError(
+                "sweep cell has no request stream (set ParallelSweepRunner("
+                "requests=...) or SweepCell(requests=...))"
+            )
+        groups.setdefault(id(stream), []).append(index)
+        streams[id(stream)] = stream
+
+    outcomes: list[list[SimulationResult]] = [[] for _ in cells]
+    for stream_id, cell_indices in groups.items():
+        policies = [
+            spec.build() for index in cell_indices for spec in cells[index].specs
+        ]
+        results = MultiPolicySimulator(policies, track_per_client=track_per_client).run(
+            streams[stream_id]
+        )
+        offset = 0
+        for index in cell_indices:
+            width = len(cells[index].specs)
+            outcomes[index] = results[offset : offset + width]
+            offset += width
+    return outcomes
+
+
+def _run_cell_batch(
+    cells: Sequence[SweepCell], track_per_client: bool
+) -> list[list[SimulationResult]]:
+    """Worker entry point: run one batch of cells against the worker stream."""
+    return _run_cells(cells, _WORKER_REQUESTS, track_per_client)
+
+
+class ParallelSweepRunner:
+    """Runs a grid of sweep cells, serially or across worker processes.
+
+    The merge order is deterministic: results enter the
+    :class:`SweepResult` in cell order, then spec order within each cell,
+    regardless of which worker finishes first — so ``jobs=1`` and ``jobs=N``
+    produce identical sweeps (worker scheduling only affects wall-clock).
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[IORequest] | None = None,
+        jobs: int | None = 1,
+        track_per_client: bool = True,
+    ):
+        self._requests = requests
+        self._jobs = 1 if jobs is None else int(jobs)
+        self._track_per_client = track_per_client
+
+    def run(self, cells: Iterable[SweepCell], parameter: str) -> SweepResult:
+        cells = list(cells)
+        jobs = min(self._jobs, len(cells))
+        if jobs > 1 and not self._specs_picklable(cells):
+            warnings.warn(
+                "sweep cells are not picklable (non-module-level policy "
+                "factory?); falling back to the serial path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            jobs = 1
+        if jobs > 1:
+            try:
+                outcomes = self._run_parallel(cells, jobs)
+            except Exception as error:
+                # Anything that breaks the worker pool (most likely an
+                # unpicklable request stream) degrades to the serial path
+                # rather than failing the sweep: workers build all state
+                # themselves, so a failed parallel attempt leaves nothing
+                # behind.
+                warnings.warn(
+                    f"parallel sweep failed ({type(error).__name__}: {error}); "
+                    "falling back to the serial path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                outcomes = self._run_serial(cells)
+        else:
+            outcomes = self._run_serial(cells)
+
+        sweep = SweepResult(parameter=parameter)
+        for cell, results in zip(cells, outcomes):
+            for spec, result in zip(cell.specs, results):
+                sweep.add(spec.label, cell.x, result)
+        return sweep
+
+    # ----------------------------------------------------------- execution
+    def _run_serial(self, cells: Sequence[SweepCell]) -> list[list[SimulationResult]]:
+        return _run_cells(cells, self._requests, self._track_per_client)
+
+    def _run_parallel(
+        self, cells: Sequence[SweepCell], jobs: int
+    ) -> list[list[SimulationResult]]:
+        # Split the grid into one contiguous batch per worker: neighbouring
+        # cells usually share a request stream, so each batch still folds
+        # into shared replay passes inside its worker — jobs>1 keeps both
+        # the amortisation and the parallelism.
+        chunk = -(-len(cells) // jobs)  # ceil division
+        batches = [cells[start : start + chunk] for start in range(0, len(cells), chunk)]
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(self._requests,)
+        ) as executor:
+            futures = [
+                executor.submit(_run_cell_batch, batch, self._track_per_client)
+                for batch in batches
+            ]
+            batch_outcomes = [future.result() for future in futures]
+        return [cell_results for batch in batch_outcomes for cell_results in batch]
+
+    def _specs_picklable(self, cells: Sequence[SweepCell]) -> bool:
+        """Probe only the specs: the realistic pickling hazard is a closure
+        factory, and probing full cells would serialize every per-cell
+        request stream twice."""
+        try:
+            pickle.dumps([cell.specs for cell in cells])
+            return True
+        except Exception:
+            return False

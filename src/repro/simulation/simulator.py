@@ -45,7 +45,7 @@ class CacheSimulator:
         policy = self._policy
         if policy.offline:
             requests = list(requests)
-            policy.prepare(requests)
+            policy.prepare(requests, start_seq)
 
         per_client: dict[str, CacheStats] = {}
         started = time.perf_counter()

@@ -5,16 +5,28 @@ the server cache size (Figures 6-8), of the number of tracked hint sets ``k``
 (Figure 9), or of the number of injected noise hint types ``T`` (Figure 10).
 This module provides the generic sweep driver plus the two specialised sweeps
 that need to rebuild the policy with different CLIC configurations.
+
+All sweeps run through the shared-replay engine
+(:mod:`repro.simulation.engine`): policies that replay the same stream share
+a single trace pass, and ``jobs > 1`` fans the sweep cells out over worker
+processes.  The default ``jobs=1`` keeps results bit-identical to a fully
+serial run.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from functools import partial
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cache.base import CachePolicy
-from repro.cache.registry import create_policy
-from repro.core.clic import CLICPolicy
 from repro.core.config import CLICConfig
+from repro.simulation.engine import (
+    MultiPolicySimulator,
+    ParallelSweepRunner,
+    PolicySpec,
+    SweepCell,
+)
 from repro.simulation.metrics import SimulationResult, SweepResult
 from repro.simulation.request import IORequest
 from repro.simulation.simulator import CacheSimulator
@@ -35,8 +47,29 @@ def run_policy(
     policy_kwargs: Mapping[str, object] | None = None,
 ) -> SimulationResult:
     """Instantiate *policy_name* with *capacity* and replay *requests* through it."""
-    policy = create_policy(policy_name, capacity=capacity, **dict(policy_kwargs or {}))
+    policy = PolicySpec(
+        label=policy_name,
+        name=policy_name,
+        capacity=capacity,
+        kwargs=dict(policy_kwargs or {}),
+    ).build()
     return CacheSimulator(policy).run(requests)
+
+
+def _policy_specs(
+    policies: Iterable[str],
+    capacity: int,
+    policy_kwargs: Mapping[str, Mapping[str, object]],
+) -> tuple[PolicySpec, ...]:
+    return tuple(
+        PolicySpec(
+            label=name,
+            name=name,
+            capacity=capacity,
+            kwargs=dict(policy_kwargs.get(name, {})),
+        )
+        for name in policies
+    )
 
 
 def compare_policies(
@@ -45,14 +78,12 @@ def compare_policies(
     policies: Iterable[str],
     policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
 ) -> dict[str, SimulationResult]:
-    """Run each policy over the same request stream at one cache size."""
-    policy_kwargs = policy_kwargs or {}
-    results: dict[str, SimulationResult] = {}
-    for name in policies:
-        results[name] = run_policy(
-            name, requests, capacity, policy_kwargs.get(name, {})
-        )
-    return results
+    """Run each policy over the same request stream, sharing one trace pass."""
+    policies = list(policies)
+    specs = _policy_specs(policies, capacity, policy_kwargs or {})
+    built = [spec.build() for spec in specs]
+    results = MultiPolicySimulator(built).run(requests)
+    return dict(zip(policies, results))
 
 
 def sweep_cache_sizes(
@@ -60,16 +91,24 @@ def sweep_cache_sizes(
     cache_sizes: Sequence[int],
     policies: Iterable[str],
     policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
-    """Read hit ratio as a function of server cache size (Figures 6-8)."""
+    """Read hit ratio as a function of server cache size (Figures 6-8).
+
+    Each cache size is one sweep cell whose policies share a replay pass;
+    ``jobs`` fans the cells out over worker processes.
+    """
     policies = list(policies)
     policy_kwargs = policy_kwargs or {}
-    sweep = SweepResult(parameter="cache_size")
-    for capacity in cache_sizes:
-        for name in policies:
-            result = run_policy(name, requests, capacity, policy_kwargs.get(name, {}))
-            sweep.add(name, capacity, result)
-    return sweep
+    cells = [
+        SweepCell(
+            x=float(capacity),
+            specs=_policy_specs(policies, capacity, policy_kwargs),
+        )
+        for capacity in cache_sizes
+    ]
+    runner = ParallelSweepRunner(requests, jobs=jobs)
+    return runner.run(cells, parameter="cache_size")
 
 
 def sweep_top_k(
@@ -78,30 +117,47 @@ def sweep_top_k(
     k_values: Sequence[int | None],
     base_config: CLICConfig | None = None,
     label_for: Callable[[int | None], str] | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """CLIC read hit ratio as a function of the number of tracked hint sets ``k``.
 
     ``None`` in *k_values* means "track all hint sets" (the exact hint table),
-    which the paper uses as the reference point for Figure 9.
+    which the paper uses as the reference point for Figure 9.  Every field of
+    *base_config* other than ``top_k`` is preserved verbatim.
     """
     base = base_config or CLICConfig()
-    sweep = SweepResult(parameter="k")
     label_for = label_for or (lambda k: "CLIC")
+    track_all_x: float | None = None
+    cells = []
     for k in k_values:
-        config = CLICConfig(
-            window_size=base.window_size,
-            decay=base.decay,
-            outqueue_factor=base.outqueue_factor,
-            top_k=k,
-            charge_metadata=base.charge_metadata,
-            metadata_bytes_per_page=base.metadata_bytes_per_page,
-            page_size_bytes=base.page_size_bytes,
+        config = dataclasses.replace(base, top_k=k)
+        if k is None:
+            if track_all_x is None:
+                track_all_x = float(len({r.hints.key() for r in requests}))
+            x = track_all_x
+        else:
+            x = float(k)
+        cells.append(
+            SweepCell(
+                x=x,
+                specs=(
+                    PolicySpec(
+                        label=label_for(k),
+                        name="CLIC",
+                        capacity=capacity,
+                        kwargs={"config": config},
+                    ),
+                ),
+            )
         )
-        policy = CLICPolicy(capacity=capacity, config=config)
-        result = CacheSimulator(policy).run(requests)
-        x = float(len({r.hints.key() for r in requests})) if k is None else float(k)
-        sweep.add(label_for(k), x, result)
-    return sweep
+    runner = ParallelSweepRunner(requests, jobs=jobs)
+    return runner.run(cells, parameter="k")
+
+
+def _build_from_factory(
+    make_policy: Callable[[object, int], CachePolicy], value: object, capacity: int
+) -> CachePolicy:
+    return make_policy(value, capacity)
 
 
 def sweep_policy_parameter(
@@ -111,12 +167,26 @@ def sweep_policy_parameter(
     values: Sequence[object],
     make_policy: Callable[[object, int], CachePolicy],
     label: str = "CLIC",
+    jobs: int | None = 1,
 ) -> SweepResult:
-    """Generic single-policy parameter sweep (used by the ablation benches)."""
-    sweep = SweepResult(parameter=parameter)
-    for value in values:
-        policy = make_policy(value, capacity)
-        result = CacheSimulator(policy).run(requests)
-        x = float(value) if isinstance(value, (int, float)) else float(len(sweep.series.get(label, [])))
-        sweep.add(label, x, result)
-    return sweep
+    """Generic single-policy parameter sweep (used by the ablation benches).
+
+    ``make_policy`` must be picklable (a module-level callable) for
+    ``jobs > 1``; otherwise the runner falls back to the serial path.
+    """
+    cells = []
+    for index, value in enumerate(values):
+        x = float(value) if isinstance(value, (int, float)) else float(index)
+        cells.append(
+            SweepCell(
+                x=x,
+                specs=(
+                    PolicySpec(
+                        label=label,
+                        factory=partial(_build_from_factory, make_policy, value, capacity),
+                    ),
+                ),
+            )
+        )
+    runner = ParallelSweepRunner(requests, jobs=jobs)
+    return runner.run(cells, parameter=parameter)

@@ -79,6 +79,39 @@ class TestSpaceSaving:
         with pytest.raises(ValueError):
             SpaceSaving(k=0)
 
+    def test_lazy_heap_stays_bounded(self):
+        """Regression: every increment pushed a stale heap entry, so the heap
+        grew with the stream length (increments never trigger the lazy pops
+        that replacements do); it must now stay O(k)."""
+        ss = SpaceSaving(k=8)
+        rng = random.Random(11)
+        for _ in range(100_000):
+            # Mostly increments of tracked items, with some churn mixed in.
+            ss.offer(rng.randrange(8) if rng.random() < 0.9 else rng.randrange(5000))
+        assert len(ss) <= 8
+        assert ss.heap_size <= max(4 * ss.k, 32)
+
+    def test_compaction_preserves_exact_behavior(self):
+        """Compacting the lazy heap must not change which items are tracked,
+        their counters, or which victims are replaced (including ties)."""
+        rng = random.Random(23)
+        stream = [
+            rng.randrange(7) if rng.random() < 0.8 else rng.randrange(200)
+            for _ in range(20_000)
+        ]
+        compacting = SpaceSaving(k=7)
+        lazy = SpaceSaving(k=7)
+        lazy._compact_limit = 10**9   # effectively disable compaction
+        replacements = []
+        for item in stream:
+            replaced_a, _ = compacting.offer(item)
+            replaced_b, _ = lazy.offer(item)
+            replacements.append((replaced_a, replaced_b))
+        assert all(a == b for a, b in replacements)
+        assert compacting.tracked() == lazy.tracked()
+        assert compacting.heap_size <= max(4 * 7, 32)
+        assert lazy.heap_size > compacting.heap_size
+
     def test_clear(self):
         ss = SpaceSaving(k=2)
         ss.offer("a")
