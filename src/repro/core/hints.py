@@ -220,6 +220,15 @@ class HintSet:
             object.__setattr__(self, "_key", key)
         return key
 
+    def identity(self) -> tuple:
+        """Full identity: ``(client_id, names, values)``.
+
+        Unlike :meth:`key`, the hint-type names are included.  Trace
+        serialization keys its hint-set dictionaries on this, so two hint
+        sets that differ only in their names never collide on disk.
+        """
+        return (self.client_id, self.names, self.values)
+
     def extended(self, extra_names: Iterable[str], extra_values: Iterable[object]) -> "HintSet":
         """Return a new hint set with additional hint types appended.
 

@@ -19,7 +19,7 @@ from typing import Sequence
 
 from repro.core.clic import CLICPolicy
 from repro.core.config import CLICConfig
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, trace_source
 from repro.simulation.metrics import SweepResult
 from repro.simulation.sweep import sweep_policy_parameter
 from repro.workloads.standard import clic_window_for
@@ -65,7 +65,7 @@ def run_window_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> SweepResult:
     """Sensitivity of the hit ratio to the statistics window W (Section 3.2)."""
-    trace = generate_trace(trace_name, settings)
+    source = trace_source(trace_name, settings)
     # The base window_size is a placeholder: every cell overrides it.
     base = CLICConfig(
         window_size=1,
@@ -73,7 +73,7 @@ def run_window_ablation(
         outqueue_factor=settings.outqueue_factor,
     )
     return _sweep_clic_config_field(
-        trace.requests(), cache_size, base, "window_size", list(window_sizes),
+        source, cache_size, base, "window_size", list(window_sizes),
         label=trace_name, jobs=settings.jobs,
     )
 
@@ -85,14 +85,14 @@ def run_decay_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> SweepResult:
     """Sensitivity to the exponential-smoothing weight r (Equation 3)."""
-    trace = generate_trace(trace_name, settings)
+    source = trace_source(trace_name, settings)
     base = CLICConfig(
         window_size=clic_window_for(settings.target_requests),
         decay=settings.decay,
         outqueue_factor=settings.outqueue_factor,
     )
     return _sweep_clic_config_field(
-        trace.requests(), cache_size, base, "decay", list(decays),
+        source, cache_size, base, "decay", list(decays),
         label=trace_name, jobs=settings.jobs,
     )
 
@@ -109,14 +109,14 @@ def run_outqueue_ablation(
     systematically under-estimates ``Nr(H)`` for hint sets it is not already
     caching — this ablation shows what that costs.
     """
-    trace = generate_trace(trace_name, settings)
+    source = trace_source(trace_name, settings)
     base = CLICConfig(
         window_size=clic_window_for(settings.target_requests),
         decay=settings.decay,
         outqueue_factor=settings.outqueue_factor,
     )
     return _sweep_clic_config_field(
-        trace.requests(), cache_size, base, "outqueue_factor", list(outqueue_factors),
+        source, cache_size, base, "outqueue_factor", list(outqueue_factors),
         label=trace_name, jobs=settings.jobs,
     )
 
@@ -127,13 +127,13 @@ def run_metadata_charge_ablation(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> SweepResult:
     """Cost of paying for CLIC's metadata out of the cache (Section 6.1)."""
-    trace = generate_trace(trace_name, settings)
+    source = trace_source(trace_name, settings)
     base = CLICConfig(
         window_size=clic_window_for(settings.target_requests),
         decay=settings.decay,
         outqueue_factor=settings.outqueue_factor,
     )
     return _sweep_clic_config_field(
-        trace.requests(), cache_size, base, "charge_metadata", [False, True],
+        source, cache_size, base, "charge_metadata", [False, True],
         label=trace_name, jobs=settings.jobs,
     )

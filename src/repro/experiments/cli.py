@@ -13,6 +13,7 @@ Each experiment prints the same rows/series recorded in ``EXPERIMENTS.md``;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -22,6 +23,12 @@ from repro.experiments.common import ExperimentSettings
 from repro.experiments.multiclient import MultiClientResult
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.simulation.metrics import SweepResult
+from repro.trace.cache import (
+    CACHE_ENV_VAR,
+    TraceCache,
+    default_trace_cache,
+    set_default_trace_cache,
+)
 
 __all__ = ["main", "build_parser", "render_result"]
 
@@ -57,6 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="directory to write one CSV per experiment (created if missing)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--trace-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for the on-disk trace cache (default: "
+        "$REPRO_TRACE_CACHE or ~/.cache/repro-clic/traces)",
+    )
+    cache_group.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the on-disk trace cache (regenerate traces in memory)",
     )
     return parser
 
@@ -94,6 +115,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args.experiments:
         parser.error("no experiments given (use --list to see what is available)")
 
+    # The environment variable is set (not just the in-process default), so
+    # sweep worker processes resolve the same cache directory.
+    if args.no_trace_cache:
+        os.environ[CACHE_ENV_VAR] = "off"
+        set_default_trace_cache(TraceCache(enabled=False))
+    elif args.trace_cache is not None:
+        os.environ[CACHE_ENV_VAR] = str(args.trace_cache)
+        set_default_trace_cache(TraceCache(root=args.trace_cache))
+
     settings = ExperimentSettings(
         target_requests=args.requests, seed=args.seed, jobs=args.jobs
     )
@@ -112,6 +142,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.csv_dir is not None and rows:
             path = rows_to_csv(rows, args.csv_dir / f"{experiment_id}.csv")
             print(f"(wrote {path})")
+    # Diagnostics go to stderr so experiment stdout stays byte-identical
+    # across runs and --jobs values (and safely redirectable to files).
+    print(f"({default_trace_cache().summary()})", file=sys.stderr)
     return 0
 
 

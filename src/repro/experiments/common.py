@@ -12,10 +12,19 @@ from dataclasses import dataclass, field
 
 from repro.cache.registry import PAPER_POLICIES
 from repro.core.config import CLICConfig
+from repro.simulation.engine import RequestSource
+from repro.trace.cache import TraceSpec, default_trace_cache
 from repro.trace.records import Trace
 from repro.workloads.standard import clic_window_for, standard_trace
 
-__all__ = ["ExperimentSettings", "clic_kwargs", "generate_trace", "DEFAULT_SETTINGS"]
+__all__ = [
+    "ExperimentSettings",
+    "clic_kwargs",
+    "generate_trace",
+    "trace_spec",
+    "trace_source",
+    "DEFAULT_SETTINGS",
+]
 
 
 @dataclass(frozen=True)
@@ -55,22 +64,68 @@ DEFAULT_SETTINGS = ExperimentSettings()
 _TRACE_CACHE: dict[tuple, Trace] = {}
 
 
+def trace_spec(
+    name: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    client_id: str | None = None,
+) -> TraceSpec:
+    """The picklable on-disk-cache key/handle for one standard trace."""
+    return TraceSpec(
+        name=name,
+        seed=settings.seed,
+        target_requests=settings.target_requests,
+        client_id=client_id,
+    )
+
+
+def trace_source(
+    name: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    client_id: str | None = None,
+) -> RequestSource:
+    """The preferred request source for sweeps over a standard trace.
+
+    With the on-disk trace cache enabled (the default) this is a lazy
+    :class:`~repro.trace.cache.TraceSpec`: replay streams from the cached
+    binary file with bounded memory, and parallel sweep workers open the
+    file themselves instead of receiving pickled request lists.  With the
+    cache disabled it falls back to the materialized request list.  Both
+    produce bit-identical sweep results.
+    """
+    if default_trace_cache().enabled:
+        spec = trace_spec(name, settings, client_id)
+        spec.ensure()
+        return spec
+    return generate_trace(name, settings, client_id).requests()
+
+
 def generate_trace(
     name: str,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     client_id: str | None = None,
     use_cache: bool = True,
 ) -> Trace:
-    """Generate (or fetch from the in-process cache) one standard trace."""
+    """Generate (or fetch from the in-process/on-disk caches) one standard trace.
+
+    Materialized traces are memoized in-process as before; on a process-local
+    miss the trace is loaded through the on-disk trace cache
+    (:mod:`repro.trace.cache`) when it is enabled, so repeated runs — and
+    concurrent sweep workers — pay the generation cost once per machine, not
+    once per process.
+    """
     key = (name, settings.seed, settings.target_requests, client_id)
     if use_cache and key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
-    trace = standard_trace(
-        name,
-        seed=settings.seed,
-        target_requests=settings.target_requests,
-        client_id=client_id,
-    )
+    disk_cache = default_trace_cache()
+    if disk_cache.enabled:
+        trace = disk_cache.load(trace_spec(name, settings, client_id))
+    else:
+        trace = standard_trace(
+            name,
+            seed=settings.seed,
+            target_requests=settings.target_requests,
+            client_id=client_id,
+        )
     if use_cache:
         _TRACE_CACHE[key] = trace
     return trace

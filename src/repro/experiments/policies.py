@@ -19,7 +19,7 @@ from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
     clic_kwargs,
-    generate_trace,
+    trace_source,
 )
 from repro.simulation.metrics import SweepResult
 from repro.simulation.sweep import sweep_cache_sizes
@@ -45,14 +45,19 @@ def run_policy_comparison(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     cache_sizes: Sequence[int] | None = None,
 ) -> dict[str, SweepResult]:
-    """Sweep server cache sizes for every policy over each named trace."""
+    """Sweep server cache sizes for every policy over each named trace.
+
+    Traces are consumed as lazy sources (:func:`trace_source`): replay
+    streams from the on-disk trace cache, and ``settings.jobs > 1`` ships
+    the tiny spec to workers instead of pickling the request list.
+    """
     results: dict[str, SweepResult] = {}
     policy_kwargs: Mapping[str, Mapping[str, object]] = {"CLIC": clic_kwargs(settings)}
     for name in trace_names:
-        trace = generate_trace(name, settings)
+        source = trace_source(name, settings)
         sizes = list(cache_sizes) if cache_sizes is not None else server_cache_sizes(name)
         results[name] = sweep_cache_sizes(
-            trace.requests(),
+            source,
             cache_sizes=sizes,
             policies=settings.policies,
             policy_kwargs=policy_kwargs,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, trace_source
 from repro.simulation.metrics import SweepResult
 from repro.simulation.sweep import sweep_top_k
 
@@ -36,9 +36,9 @@ def run_topk_experiment(
     """
     sweep = SweepResult(parameter="k")
     for name in trace_names:
-        trace = generate_trace(name, settings)
+        source = trace_source(name, settings)
         part = sweep_top_k(
-            trace.requests(),
+            source,
             capacity=cache_size,
             k_values=k_values,
             base_config=settings.clic_config(),

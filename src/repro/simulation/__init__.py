@@ -4,6 +4,7 @@ from repro.simulation.engine import (
     MultiPolicySimulator,
     ParallelSweepRunner,
     PolicySpec,
+    RequestSource,
     SweepCell,
 )
 from repro.simulation.metrics import SimulationResult, SweepPoint, SweepResult, format_table
@@ -32,6 +33,7 @@ __all__ = [
     "MultiPolicySimulator",
     "ParallelSweepRunner",
     "PolicySpec",
+    "RequestSource",
     "SweepCell",
     "SimulationResult",
     "SweepPoint",

@@ -23,6 +23,18 @@ constructor arguments, or an arbitrary zero-argument factory) so that cells
 can be pickled to worker processes; specs whose factories cannot be pickled
 make the runner fall back to the serial path with a warning rather than
 fail.
+
+Request streams come in two shapes, unified by the *request-source
+protocol*:
+
+* plain sequences (lists/tuples of :class:`IORequest`), replayed by slicing;
+* **lazy sources** — any object with a re-iterable ``iter_requests()``
+  method, e.g. :class:`repro.trace.cache.TraceSpec` or
+  :class:`repro.trace.binio.StreamedTrace` — replayed chunk-by-chunk with
+  bounded memory (the full request list is never materialized).  A lazy
+  source that is also cheaply picklable is what ``jobs > 1`` ships to worker
+  processes: each worker opens the trace itself instead of receiving
+  millions of pickled request objects.
 """
 
 from __future__ import annotations
@@ -33,7 +45,8 @@ import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from itertools import islice
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
@@ -45,7 +58,55 @@ __all__ = [
     "PolicySpec",
     "SweepCell",
     "ParallelSweepRunner",
+    "RequestSource",
 ]
+
+class LazyRequestSource(Protocol):
+    """A re-iterable request stream the engine can replay without
+    materializing it (e.g. :class:`repro.trace.cache.TraceSpec` or
+    :class:`repro.trace.binio.StreamedTrace`)."""
+
+    def iter_requests(self) -> Iterator[IORequest]: ...
+
+
+#: Anything the engine can replay: a request sequence or a lazy source.
+RequestSource = Sequence[IORequest] | LazyRequestSource
+
+
+def _as_request_source(requests: Iterable[IORequest]) -> RequestSource:
+    """Normalize to a sequence or a re-iterable lazy source.
+
+    One-shot iterables (plain generators) are materialized, because replay
+    may need several passes (offline preparation + the replay itself).
+    """
+    if isinstance(requests, (list, tuple)):
+        return requests
+    if hasattr(requests, "iter_requests"):
+        return requests
+    return list(requests)
+
+
+def _iter_request_chunks(source: RequestSource, chunk_size: int) -> Iterator[list[IORequest]]:
+    """Yield *source* as consecutive request lists (at most ~*chunk_size*).
+
+    Sources exposing ``iter_chunks()`` (:class:`StreamedTrace` decodes its
+    blocks into lists already) are consumed chunk-by-chunk directly instead
+    of being re-buffered through a per-request iterator.  Replay results do
+    not depend on chunk boundaries, so the native chunking is used as-is.
+    """
+    if isinstance(source, (list, tuple)):
+        for start in range(0, len(source), chunk_size):
+            yield source[start : start + chunk_size]
+        return
+    if hasattr(source, "iter_chunks"):
+        yield from source.iter_chunks()
+        return
+    iterator = source.iter_requests()
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
 
 
 class MultiPolicySimulator:
@@ -86,14 +147,19 @@ class MultiPolicySimulator:
         request-by-request runs.  Returns one :class:`SimulationResult` per
         policy, in policy order.  ``elapsed_seconds`` reports the duration of
         the shared pass and is therefore the same for every result.
+
+        ``requests`` may be a sequence or a lazy source (the request-source
+        protocol, see the module docstring).  A lazy source is replayed with
+        bounded memory — at most one chunk of requests is alive at a time —
+        and produces results bit-identical to replaying the materialized
+        list.
         """
         policies = self._policies
         if not policies:
             return []
-        if not isinstance(requests, (list, tuple)):
-            requests = list(requests)
+        source = _as_request_source(requests)
         if any(policy.offline for policy in policies):
-            self._prepare_offline(requests, start_seq)
+            self._prepare_offline(source, start_seq)
 
         n = len(policies)
         accessors = [policy.access for policy in policies]
@@ -110,59 +176,73 @@ class MultiPolicySimulator:
         started = time.perf_counter()
         # client_id -> [read_requests, write_requests, read hits per policy,
         # write hits per policy].  The request counts are policy-independent,
-        # so they are counted once, up front, and shared by all N per-client
-        # results; ``targets`` maps each request to the hit-counter list its
-        # hits go to.
+        # so they are counted once per chunk and shared by all N per-client
+        # results; ``chunk_targets`` maps each request of a chunk to the
+        # hit-counter list its hits go to.
+        #
+        # Streams from a single client (every standard trace) never pay that
+        # bookkeeping: as long as only one client has been seen, the replay
+        # loop lets ``map`` drive each policy through a whole chunk at C
+        # speed, and the client's counts are recovered from the policies' own
+        # counters afterwards.  The moment a second client appears (only
+        # possible at a chunk boundary, since each chunk is scanned before it
+        # is replayed) the totals so far are attributed to the first client
+        # and the per-request slow path takes over.
         per_client: dict[str, list] = {}
-        targets: list[list[int]] = []
-        clients = {request.client_id for request in requests} if track else set()
-        if track and len(clients) > 1:
-            append_target = targets.append
-            for request in requests:
-                row = per_client.get(request.client_id)
-                if row is None:
-                    row = [0, 0, [0] * n, [0] * n]
-                    per_client[request.client_id] = row
-                if request.kind is read_kind:
-                    row[0] += 1
-                    append_target(row[2])
-                else:
-                    row[1] += 1
-                    append_target(row[3])
+        sole_client: str | None = None
+        multi_client = False
+        seq_base = start_seq
 
-        if not track or len(clients) <= 1:
-            # Single-client stream (every standard trace): the one client's
-            # request and hit counts equal the policy's own counters, so the
-            # replay loop needs no per-request bookkeeping at all — ``map``
-            # drives each policy through a whole chunk at C speed.
-            for chunk_start in range(0, len(requests), chunk_size):
-                chunk = requests[chunk_start : chunk_start + chunk_size]
-                seqs = range(
-                    start_seq + chunk_start, start_seq + chunk_start + len(chunk)
-                )
-                for access in accessors:
-                    deque(map(access, chunk, seqs), maxlen=0)
-            if track and clients:
-                stats = policies[0].stats
-                b0 = before[0]
-                per_client[next(iter(clients))] = [
-                    stats.read_requests - b0[0],
-                    stats.write_requests - b0[2],
-                    [p.stats.read_hits - b[1] for p, b in zip(policies, before)],
-                    [p.stats.write_hits - b[3] for p, b in zip(policies, before)],
-                ]
-        else:
-            for chunk_start in range(0, len(requests), chunk_size):
-                chunk = requests[chunk_start : chunk_start + chunk_size]
-                chunk_targets = targets[chunk_start : chunk_start + chunk_size]
-                chunk_seq = start_seq + chunk_start
+        def snapshot_counts() -> list:
+            stats0 = policies[0].stats
+            b0 = before[0]
+            return [
+                stats0.read_requests - b0[0],
+                stats0.write_requests - b0[2],
+                [p.stats.read_hits - b[1] for p, b in zip(policies, before)],
+                [p.stats.write_hits - b[3] for p, b in zip(policies, before)],
+            ]
+
+        for chunk in _iter_request_chunks(source, chunk_size):
+            if track and not multi_client:
+                chunk_clients = {request.client_id for request in chunk}
+                if sole_client is None and len(chunk_clients) == 1:
+                    sole_client = next(iter(chunk_clients))
+                if len(chunk_clients) > 1 or (
+                    sole_client is not None and chunk_clients != {sole_client}
+                ):
+                    multi_client = True
+                    if sole_client is not None and seq_base > start_seq:
+                        per_client[sole_client] = snapshot_counts()
+            if track and multi_client:
+                chunk_targets: list[list[int]] = []
+                append_target = chunk_targets.append
+                for request in chunk:
+                    row = per_client.get(request.client_id)
+                    if row is None:
+                        row = [0, 0, [0] * n, [0] * n]
+                        per_client[request.client_id] = row
+                    if request.kind is read_kind:
+                        row[0] += 1
+                        append_target(row[2])
+                    else:
+                        row[1] += 1
+                        append_target(row[3])
                 for j in range(n):
                     access = accessors[j]
-                    seq = chunk_seq
+                    seq = seq_base
                     for request, hits in zip(chunk, chunk_targets):
                         if access(request, seq):
                             hits[j] += 1
                         seq += 1
+            else:
+                seqs = range(seq_base, seq_base + len(chunk))
+                for access in accessors:
+                    deque(map(access, chunk, seqs), maxlen=0)
+            seq_base += len(chunk)
+
+        if track and not multi_client and sole_client is not None:
+            per_client[sole_client] = snapshot_counts()
         elapsed = time.perf_counter() - started
 
         results = []
@@ -187,9 +267,16 @@ class MultiPolicySimulator:
             )
         return results
 
-    def _prepare_offline(self, requests: Sequence[IORequest], start_seq: int) -> None:
-        """Prepare offline policies, sharing one future index per policy type."""
+    def _prepare_offline(self, source: RequestSource, start_seq: int) -> None:
+        """Prepare offline policies, sharing one future index per policy type.
+
+        OPT-style policies (``build_read_index``/``adopt_read_index``) are
+        fed a streaming pass, so a lazy source never has to materialize; a
+        generic ``prepare`` contract expects a sequence, so only that legacy
+        path materializes a lazy source (once).
+        """
         shared_indexes: dict[type, object] = {}
+        materialized: Sequence[IORequest] | None = None
         for policy in self._policies:
             if not policy.offline:
                 continue
@@ -197,11 +284,22 @@ class MultiPolicySimulator:
             if hasattr(cls, "build_read_index") and hasattr(policy, "adopt_read_index"):
                 index = shared_indexes.get(cls)
                 if index is None:
-                    index = cls.build_read_index(requests, start_seq)
+                    stream = (
+                        source
+                        if isinstance(source, (list, tuple))
+                        else source.iter_requests()
+                    )
+                    index = cls.build_read_index(stream, start_seq)
                     shared_indexes[cls] = index
                 policy.adopt_read_index(index)
             else:
-                policy.prepare(requests, start_seq)
+                if materialized is None:
+                    materialized = (
+                        source
+                        if isinstance(source, (list, tuple))
+                        else list(source.iter_requests())
+                    )
+                policy.prepare(materialized, start_seq)
 
 
 @dataclass(frozen=True)
@@ -237,39 +335,59 @@ class SweepCell:
 
     ``requests`` overrides the runner's shared stream for this cell (used by
     sweeps whose cells replay different streams, e.g. the noise-injection
-    experiment); ``None`` means the runner's stream.
+    experiment); ``None`` means the runner's stream.  Either may be a
+    sequence or a lazy request source (e.g. a
+    :class:`repro.trace.cache.TraceSpec`).
     """
 
     x: float
     specs: tuple[PolicySpec, ...]
-    requests: Sequence[IORequest] | None = None
+    requests: RequestSource | None = None
 
 
-# Per-worker copy of the runner's shared request stream, installed once per
-# worker process by the pool initializer instead of being pickled per cell.
-_WORKER_REQUESTS: Sequence[IORequest] | None = None
+# Per-worker copy of the runner's shared request stream (or the lazy source
+# the worker opens itself), installed once per worker process by the pool
+# initializer instead of being pickled per cell.
+_WORKER_REQUESTS: RequestSource | None = None
 
 
-def _init_worker(requests: Sequence[IORequest] | None) -> None:
+def _init_worker(requests: RequestSource | None) -> None:
     global _WORKER_REQUESTS
     _WORKER_REQUESTS = requests
 
 
+def _stream_group_key(stream: RequestSource) -> object:
+    """Group key for folding same-stream cells into one replay pass.
+
+    Hashable lazy sources (e.g. :class:`~repro.trace.cache.TraceSpec`) group
+    by *equality*, so two equal specs share one pass even if they are
+    distinct objects (or were pickled separately); everything else groups by
+    identity.
+    """
+    if hasattr(stream, "iter_requests"):
+        try:
+            hash(stream)
+        except TypeError:
+            return id(stream)
+        return stream
+    return id(stream)
+
+
 def _run_cells(
     cells: Sequence[SweepCell],
-    default_requests: Sequence[IORequest] | None,
+    default_requests: RequestSource | None,
     track_per_client: bool,
 ) -> list[list[SimulationResult]]:
     """Run *cells*, folding same-stream cells into one shared replay pass.
 
-    Cells are grouped by request-stream identity: all their policies are
-    independent, so one :class:`MultiPolicySimulator` pass per distinct
-    stream covers every cell of that stream.  Used both by the serial path
-    (with all cells) and inside each worker process (with that worker's
-    batch of cells).
+    Cells are grouped by request-stream identity (equality for hashable lazy
+    sources): all their policies are independent, so one
+    :class:`MultiPolicySimulator` pass per distinct stream covers every cell
+    of that stream.  Used both by the serial path (with all cells) and
+    inside each worker process (with that worker's batch of cells).
     """
-    groups: dict[int, list[int]] = {}
-    streams: dict[int, Sequence[IORequest]] = {}
+    groups: dict[object, list[int]] = {}
+    streams: dict[object, RequestSource] = {}
     for index, cell in enumerate(cells):
         stream = cell.requests if cell.requests is not None else default_requests
         if stream is None:
@@ -277,8 +395,9 @@ def _run_cells(
                 "sweep cell has no request stream (set ParallelSweepRunner("
                 "requests=...) or SweepCell(requests=...))"
             )
-        groups.setdefault(id(stream), []).append(index)
-        streams[id(stream)] = stream
+        key = _stream_group_key(stream)
+        groups.setdefault(key, []).append(index)
+        streams[key] = stream
 
     outcomes: list[list[SimulationResult]] = [[] for _ in cells]
     for stream_id, cell_indices in groups.items():
@@ -314,7 +433,7 @@ class ParallelSweepRunner:
 
     def __init__(
         self,
-        requests: Sequence[IORequest] | None = None,
+        requests: RequestSource | None = None,
         jobs: int | None = 1,
         track_per_client: bool = True,
     ):
@@ -365,6 +484,13 @@ class ParallelSweepRunner:
     def _run_parallel(
         self, cells: Sequence[SweepCell], jobs: int
     ) -> list[list[SimulationResult]]:
+        # Lazy sources get materialized on disk once, up front, so N workers
+        # opening the same spec hit the trace cache instead of racing to
+        # generate the trace N times.
+        for stream in [self._requests] + [cell.requests for cell in cells]:
+            ensure = getattr(stream, "ensure", None)
+            if callable(ensure):
+                ensure()
         # Split the grid into one contiguous batch per worker: neighbouring
         # cells usually share a request stream, so each batch still folds
         # into shared replay passes inside its worker — jobs>1 keeps both

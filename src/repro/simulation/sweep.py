@@ -25,6 +25,7 @@ from repro.simulation.engine import (
     MultiPolicySimulator,
     ParallelSweepRunner,
     PolicySpec,
+    RequestSource,
     SweepCell,
 )
 from repro.simulation.metrics import SimulationResult, SweepResult
@@ -87,7 +88,7 @@ def compare_policies(
 
 
 def sweep_cache_sizes(
-    requests: Sequence[IORequest],
+    requests: RequestSource,
     cache_sizes: Sequence[int],
     policies: Iterable[str],
     policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
@@ -96,7 +97,11 @@ def sweep_cache_sizes(
     """Read hit ratio as a function of server cache size (Figures 6-8).
 
     Each cache size is one sweep cell whose policies share a replay pass;
-    ``jobs`` fans the cells out over worker processes.
+    ``jobs`` fans the cells out over worker processes.  ``requests`` may be
+    a request list or a lazy source such as a
+    :class:`~repro.trace.cache.TraceSpec` — with a lazy source and
+    ``jobs > 1``, workers open the trace from the on-disk cache themselves
+    instead of receiving pickled request lists.
     """
     policies = list(policies)
     policy_kwargs = policy_kwargs or {}
@@ -112,7 +117,7 @@ def sweep_cache_sizes(
 
 
 def sweep_top_k(
-    requests: Sequence[IORequest],
+    requests: RequestSource,
     capacity: int,
     k_values: Sequence[int | None],
     base_config: CLICConfig | None = None,
@@ -161,7 +166,7 @@ def _build_from_factory(
 
 
 def sweep_policy_parameter(
-    requests: Sequence[IORequest],
+    requests: RequestSource,
     capacity: int,
     parameter: str,
     values: Sequence[object],

@@ -1,5 +1,18 @@
 """Hint schemas, trace containers, serialization and trace statistics."""
 
+from repro.trace.binio import (
+    BinaryTraceWriter,
+    StreamedTrace,
+    open_trace_binary,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.trace.cache import (
+    TraceCache,
+    TraceSpec,
+    default_trace_cache,
+    set_default_trace_cache,
+)
 from repro.trace.io import TraceFormatError, read_trace, write_trace
 from repro.trace.noise import ZipfSampler, inject_noise_hints, inject_noise_into_trace
 from repro.trace.records import Trace, TraceSummary
@@ -23,6 +36,15 @@ __all__ = [
     "TraceFormatError",
     "read_trace",
     "write_trace",
+    "BinaryTraceWriter",
+    "StreamedTrace",
+    "open_trace_binary",
+    "read_trace_binary",
+    "write_trace_binary",
+    "TraceCache",
+    "TraceSpec",
+    "default_trace_cache",
+    "set_default_trace_cache",
     "ZipfSampler",
     "inject_noise_hints",
     "inject_noise_into_trace",

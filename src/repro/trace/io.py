@@ -11,6 +11,9 @@ inspected, diffed and filtered with ordinary tools:
 Dictionary-encoding the hint sets keeps files compact (a trace usually has
 millions of requests but only tens or hundreds of distinct hint sets — that
 skew is exactly what Section 5 of the paper exploits).
+
+Both this text format and the binary format used by the on-disk trace cache
+(:mod:`repro.trace.binio`) are specified in ``docs/trace-format.md``.
 """
 
 from __future__ import annotations
@@ -27,17 +30,28 @@ __all__ = ["write_trace", "read_trace", "TraceFormatError"]
 
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file cannot be parsed."""
+    """Raised when a trace file cannot be parsed.
+
+    Parsers report the position of the offending input (a line number for the
+    text format, a byte offset for the binary format) in the message, and
+    never let ``KeyError``/``ValueError``/``json.JSONDecodeError`` escape.
+    """
 
 
 def _encode_hint_set(hints: HintSet) -> str:
+    """The JSON hint-set payload shared by the text and binary formats."""
     return json.dumps(
         {"client": hints.client_id, "names": list(hints.names), "values": list(hints.values)},
         separators=(",", ":"),
     )
 
 
-def _decode_hint_set(payload: str) -> HintSet:
+def _decode_hint_set(payload: str, context: str) -> HintSet:
+    """Decode a hint-set JSON payload (shared by the text and binary formats).
+
+    *context* names the input position for error messages — ``"line N"``
+    for the text format, ``"byte N"`` for the binary format.
+    """
     try:
         data = json.loads(payload)
         return HintSet(
@@ -45,8 +59,10 @@ def _decode_hint_set(payload: str) -> HintSet:
             names=tuple(data["names"]),
             values=tuple(data["values"]),
         )
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
-        raise TraceFormatError(f"malformed hint set definition: {payload!r}") from exc
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"{context}: malformed hint set definition: {payload!r}"
+        ) from exc
 
 
 def write_trace(trace: Trace, path: str | Path) -> None:
@@ -56,7 +72,9 @@ def write_trace(trace: Trace, path: str | Path) -> None:
     with path.open("w", encoding="utf-8") as handle:
         handle.write(f"#meta {json.dumps({'name': trace.name, **trace.metadata}, default=str)}\n")
         for request in trace:
-            key = request.hints.key()
+            # identity(), not key(): the key omits hint names, but the
+            # dictionary must distinguish sets that differ only in names.
+            key = request.hints.identity()
             hint_id = hint_ids.get(key)
             if hint_id is None:
                 hint_id = len(hint_ids)
@@ -83,16 +101,31 @@ def _parse_trace(handle: TextIO, default_name: str) -> Trace:
         if not line:
             continue
         if line.startswith("#meta "):
-            payload = json.loads(line[len("#meta "):])
+            try:
+                payload = json.loads(line[len("#meta "):])
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"line {line_number}: malformed #meta JSON") from exc
+            if not isinstance(payload, dict):
+                raise TraceFormatError(
+                    f"line {line_number}: #meta payload must be a JSON object"
+                )
             name = payload.pop("name", name)
             metadata.update(payload)
             continue
         if line.startswith("#hintset "):
+            fields = line.split(" ", 2)
+            if len(fields) != 3:
+                raise TraceFormatError(
+                    f"line {line_number}: expected '#hintset <id> <json>', got {line!r}"
+                )
+            _, hint_id_text, payload = fields
             try:
-                _, hint_id_text, payload = line.split(" ", 2)
-                hint_sets[int(hint_id_text)] = _decode_hint_set(payload)
+                hint_id = int(hint_id_text)
             except ValueError as exc:
-                raise TraceFormatError(f"line {line_number}: bad hint set line") from exc
+                raise TraceFormatError(
+                    f"line {line_number}: non-integer hint set id {hint_id_text!r}"
+                ) from exc
+            hint_sets[hint_id] = _decode_hint_set(payload, f"line {line_number}")
             continue
         parts = line.split()
         if len(parts) != 3:
@@ -105,9 +138,15 @@ def _parse_trace(handle: TextIO, default_name: str) -> Trace:
             hint_id = int(hint_id_text)
         except ValueError as exc:
             raise TraceFormatError(f"line {line_number}: non-integer field") from exc
-        hints = hint_sets.get(hint_id, EMPTY_HINT_SET) if hint_id >= 0 else EMPTY_HINT_SET
-        if hint_id >= 0 and hint_id not in hint_sets:
-            raise TraceFormatError(f"line {line_number}: undefined hint set id {hint_id}")
+        if hint_id < 0:
+            hints = EMPTY_HINT_SET
+        else:
+            try:
+                hints = hint_sets[hint_id]
+            except KeyError as exc:
+                raise TraceFormatError(
+                    f"line {line_number}: undefined hint set id {hint_id}"
+                ) from exc
         requests.append(
             IORequest(
                 page=page,

@@ -64,6 +64,15 @@ class Trace:
         """The request list (the simulator consumes this directly)."""
         return self.requests_list
 
+    def iter_requests(self) -> Iterator[IORequest]:
+        """Iterate the requests (the re-iterable request-source protocol).
+
+        Lazy sources (:class:`repro.trace.binio.StreamedTrace`,
+        :class:`repro.trace.cache.TraceSpec`) expose the same method, so code
+        written against the protocol accepts either.
+        """
+        return iter(self.requests_list)
+
     def append(self, request: IORequest) -> None:
         self.requests_list.append(request)
 

@@ -97,16 +97,27 @@ class DBMSClient(abc.ABC):
             raise TypeError(f"unsupported logical operation: {op!r}")
         return [self._to_request(io) for io in ios]
 
+    def iter_requests(
+        self, operations: Iterable[LogicalOp], target_requests: int | None = None
+    ) -> Iterator[IORequest]:
+        """Yield emitted I/O requests incrementally.
+
+        Runs operations until exhausted or *target_requests* I/Os were
+        yielded; the emitted prefix is identical to :meth:`run` with the same
+        arguments, but nothing is accumulated, so the stream can feed the
+        binary trace writer (or any other consumer) with bounded memory.
+        """
+        emitted = 0
+        for op in operations:
+            for request in self.process(op):
+                yield request
+                emitted += 1
+                if target_requests is not None and emitted >= target_requests:
+                    return
+
     def run(self, operations: Iterable[LogicalOp], target_requests: int | None = None) -> list[IORequest]:
         """Run operations until exhausted or *target_requests* I/Os were emitted."""
-        requests: list[IORequest] = []
-        for op in operations:
-            requests.extend(self.process(op))
-            if target_requests is not None and len(requests) >= target_requests:
-                break
-        if target_requests is not None:
-            requests = requests[:target_requests]
-        return requests
+        return list(self.iter_requests(operations, target_requests))
 
     def collect_trace(
         self,

@@ -39,6 +39,7 @@ __all__ = [
     "StandardTraceConfig",
     "STANDARD_TRACES",
     "SCALE_FACTOR",
+    "StandardTraceStream",
     "standard_trace",
     "server_cache_sizes",
     "clic_window_for",
@@ -181,13 +182,84 @@ def _warm_up(client, workload, config: StandardTraceConfig) -> None:
         transactions += 1
 
 
+class StandardTraceStream:
+    """Incremental generator of one standard trace (single use).
+
+    Iterating the stream warms up the client and then yields the same
+    request sequence :func:`standard_trace` would materialize — one request
+    at a time, so generation can flow straight into the binary trace writer
+    (:class:`repro.trace.binio.BinaryTraceWriter`) with bounded memory.
+    :meth:`metadata` reports the same metadata dict a materialized
+    :class:`~repro.trace.records.Trace` would carry; fields such as the
+    first-tier hit ratio are only final once the stream is exhausted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 17,
+        target_requests: int = DEFAULT_TARGET_REQUESTS,
+        client_id: str | None = None,
+    ):
+        if name not in STANDARD_TRACES:
+            raise KeyError(
+                f"unknown standard trace {name!r}; available: {sorted(STANDARD_TRACES)}"
+            )
+        self.name = name
+        self.seed = seed
+        self.target_requests = target_requests
+        self._config = STANDARD_TRACES[name]
+        self._workload = self._config.workload_model(seed)
+        effective_client = client_id or f"{self._config.dbms}-{name}"
+        client_cls = DB2Client if self._config.dbms == "db2" else MySQLClient
+        self._client = client_cls(
+            database=self._workload.database,
+            buffer_pages=self._config.buffer_pages,
+            client_id=effective_client,
+            seed=seed + 1,
+        )
+        self._started = False
+
+    def __iter__(self):
+        if self._started:
+            raise RuntimeError(
+                "StandardTraceStream is single-use; build a new one to regenerate"
+            )
+        self._started = True
+        _warm_up(self._client, self._workload, self._config)
+        yield from self._client.iter_requests(
+            _operations_forever(self._workload), self.target_requests
+        )
+
+    def metadata(self) -> dict:
+        """The metadata dict of the equivalent materialized trace."""
+        config = self._config
+        return {
+            "client_id": self._client.client_id,
+            "database_pages": config.database_pages,
+            "buffer_pages": config.buffer_pages,
+            "first_tier_hit_ratio": self._client.first_tier_hit_ratio(),
+            "config": config.name,
+            "dbms": config.dbms,
+            "workload": config.workload,
+            "seed": self.seed,
+            "paper_database_pages": config.paper_database_pages,
+            "paper_buffer_pages": config.paper_buffer_pages,
+        }
+
+
 def standard_trace(
     name: str,
     seed: int = 17,
     target_requests: int = DEFAULT_TARGET_REQUESTS,
     client_id: str | None = None,
 ) -> Trace:
-    """Generate one of the standard traces of Figure 5 (scaled).
+    """Generate one of the standard traces of Figure 5 (scaled), in memory.
+
+    Callers that can consume requests incrementally (or that want generated
+    traces persisted and reused across runs) should prefer the streaming
+    path: :class:`StandardTraceStream` or the on-disk trace cache
+    (:mod:`repro.trace.cache`).
 
     Parameters
     ----------
@@ -203,42 +275,11 @@ def standard_trace(
         instances of the same configuration, which must appear as distinct
         clients to CLIC).
     """
-    if name not in STANDARD_TRACES:
-        raise KeyError(f"unknown standard trace {name!r}; available: {sorted(STANDARD_TRACES)}")
-    config = STANDARD_TRACES[name]
-    workload = config.workload_model(seed)
-    effective_client = client_id or f"{config.dbms}-{name}"
-    if config.dbms == "db2":
-        client = DB2Client(
-            database=workload.database,
-            buffer_pages=config.buffer_pages,
-            client_id=effective_client,
-            seed=seed + 1,
-        )
-    else:
-        client = MySQLClient(
-            database=workload.database,
-            buffer_pages=config.buffer_pages,
-            client_id=effective_client,
-            seed=seed + 1,
-        )
-    _warm_up(client, workload, config)
-    trace = client.collect_trace(
-        _operations_forever(workload),
-        target_requests=target_requests,
-        name=name,
-        metadata={
-            "config": config.name,
-            "dbms": config.dbms,
-            "workload": config.workload,
-            "database_pages": config.database_pages,
-            "buffer_pages": config.buffer_pages,
-            "seed": seed,
-            "paper_database_pages": config.paper_database_pages,
-            "paper_buffer_pages": config.paper_buffer_pages,
-        },
+    stream = StandardTraceStream(
+        name, seed=seed, target_requests=target_requests, client_id=client_id
     )
-    return trace
+    requests = list(stream)
+    return Trace(name=name, requests_list=requests, metadata=stream.metadata())
 
 
 def server_cache_sizes(name: str) -> list[int]:

@@ -36,6 +36,29 @@ def run_policy(policy, requests):
     return CacheSimulator(policy).run(requests)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk trace cache at a session-scoped temp directory.
+
+    Keeps the suite from writing into the user's real cache while still
+    letting tests share generated traces within one session.
+    """
+    import os
+
+    from repro.trace.cache import CACHE_ENV_VAR, set_default_trace_cache
+
+    root = tmp_path_factory.mktemp("trace-cache")
+    previous = os.environ.get(CACHE_ENV_VAR)
+    os.environ[CACHE_ENV_VAR] = str(root)
+    set_default_trace_cache(None)  # re-resolve from the environment
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_ENV_VAR, None)
+    else:
+        os.environ[CACHE_ENV_VAR] = previous
+    set_default_trace_cache(None)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG for tests that need randomness."""

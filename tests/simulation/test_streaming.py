@@ -1,0 +1,82 @@
+"""Streamed replay must be bit-identical to list replay, serially and fanned out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.registry import create_policy
+from repro.experiments.common import ExperimentSettings, trace_source, trace_spec
+from repro.simulation.engine import MultiPolicySimulator
+from repro.simulation.simulator import CacheSimulator
+from repro.simulation.sweep import sweep_cache_sizes
+from repro.trace.cache import TraceSpec
+
+SETTINGS = ExperimentSettings(target_requests=2_000, seed=11)
+POLICIES = ("OPT", "LRU", "ARC")
+SIZES = (200, 400)
+
+
+@pytest.fixture(scope="module")
+def spec() -> TraceSpec:
+    spec = trace_spec("DB2_C60", SETTINGS)
+    spec.ensure()
+    return spec
+
+
+def _curves(sweep):
+    return {name: sweep.curve(name) for name in POLICIES}
+
+
+class TestStreamedSweepEquivalence:
+    def test_streamed_equals_list_at_jobs_1_and_4(self, spec):
+        requests = spec.load().requests()
+        reference = _curves(sweep_cache_sizes(requests, SIZES, POLICIES, jobs=1))
+        for source, jobs in ((requests, 4), (spec, 1), (spec, 4)):
+            got = _curves(sweep_cache_sizes(source, SIZES, POLICIES, jobs=jobs))
+            assert got == reference, f"jobs={jobs} source={type(source).__name__}"
+
+    def test_equal_specs_fold_into_one_pass(self, spec):
+        # Two *distinct but equal* spec objects must group like one stream:
+        # the engine groups hashable lazy sources by equality, which is what
+        # keeps per-worker shared replay alive after pickling.
+        other = TraceSpec(spec.name, spec.seed, spec.target_requests, spec.client_id)
+        assert other is not spec
+        sweep = sweep_cache_sizes(other, SIZES, POLICIES, jobs=1)
+        assert _curves(sweep) == _curves(sweep_cache_sizes(spec, SIZES, POLICIES, jobs=1))
+
+
+class TestStreamedEngineEquivalence:
+    def test_multi_policy_run_matches_simulator(self, spec):
+        requests = spec.load().requests()
+        policies = [create_policy(name, capacity=300) for name in POLICIES]
+        streamed = MultiPolicySimulator(policies).run(spec)
+        for name, result in zip(POLICIES, streamed):
+            solo = CacheSimulator(create_policy(name, capacity=300)).run(requests)
+            assert result.stats.as_dict() == solo.stats.as_dict(), name
+            assert {c: s.as_dict() for c, s in result.per_client.items()} == {
+                c: s.as_dict() for c, s in solo.per_client.items()
+            }, name
+
+    def test_one_shot_generator_is_materialized(self, spec):
+        requests = spec.load().requests()
+        policies = [create_policy("LRU", capacity=300)]
+        result = MultiPolicySimulator(policies).run(r for r in requests)
+        solo = CacheSimulator(create_policy("LRU", capacity=300)).run(requests)
+        assert result[0].stats.as_dict() == solo.stats.as_dict()
+
+
+class TestTraceSource:
+    def test_trace_source_is_lazy_when_cache_enabled(self):
+        source = trace_source("DB2_C60", SETTINGS)
+        assert isinstance(source, TraceSpec)
+
+    def test_trace_source_materializes_when_cache_disabled(self, monkeypatch):
+        from repro.trace.cache import TraceCache, set_default_trace_cache
+
+        set_default_trace_cache(TraceCache(enabled=False))
+        try:
+            source = trace_source("DB2_C60", SETTINGS)
+            assert isinstance(source, list)
+            assert len(source) == SETTINGS.target_requests
+        finally:
+            set_default_trace_cache(None)

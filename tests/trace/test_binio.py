@@ -1,0 +1,273 @@
+"""Tests for the binary trace format: round trips, streaming, error paths."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hints import EMPTY_HINT_SET, HintSet, make_hint_set
+from repro.simulation.request import IORequest, RequestKind
+from repro.trace.binio import (
+    BLOCK_REQUESTS,
+    BinaryTraceWriter,
+    StreamedTrace,
+    open_trace_binary,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.trace.io import TraceFormatError, read_trace, write_trace
+from repro.trace.records import Trace
+
+from tests.conftest import hint, rd, wr
+
+
+def sample_trace() -> Trace:
+    hot = hint("db2", object_id=1, request_type="read")
+    cold = hint("db2", object_id=2, request_type="replacement_write")
+    requests = [rd(1, hot), rd(2, hot), wr(3, cold), rd(1, hot), wr(3, cold), rd(9)]
+    return Trace(name="sample", requests_list=requests, metadata={"seed": 7, "f": 0.25})
+
+
+# ----------------------------------------------------------------- strategies
+
+_hint_values = st.one_of(
+    st.integers(min_value=-5, max_value=10_000),
+    st.text(max_size=8),
+    st.booleans(),
+)
+
+
+@st.composite
+def hint_sets(draw) -> HintSet:
+    client = draw(st.sampled_from(["db2", "mysql", "c-0", ""]))
+    if client == "":
+        return EMPTY_HINT_SET
+    names = draw(
+        st.lists(
+            st.sampled_from(["pool_id", "object_id", "request_type", "fix_count"]),
+            unique=True,
+            max_size=4,
+        )
+    )
+    values = tuple(draw(_hint_values) for _ in names)
+    return HintSet(client_id=client, names=tuple(names), values=values)
+
+
+@st.composite
+def io_requests(draw) -> IORequest:
+    hints = draw(hint_sets())
+    kind = draw(st.sampled_from([RequestKind.READ, RequestKind.WRITE]))
+    client_id = draw(st.sampled_from(["", "override-client"]))
+    return IORequest(
+        page=draw(st.integers(min_value=0, max_value=2**40)),
+        kind=kind,
+        hints=hints,
+        client_id=client_id,
+    )
+
+
+traces = st.builds(
+    Trace,
+    name=st.text(min_size=1, max_size=12),
+    requests_list=st.lists(io_requests(), max_size=60),
+    metadata=st.dictionaries(
+        st.text(min_size=1, max_size=8).filter(lambda k: k != "name"),
+        st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8)),
+        max_size=4,
+    ),
+)
+
+
+def assert_traces_equal(a: Trace, b: Trace) -> None:
+    assert a.name == b.name
+    assert len(a) == len(b)
+    assert a.requests() == b.requests()
+    assert a.metadata == b.metadata
+
+
+# --------------------------------------------------------------- round trips
+
+
+class TestRoundTrips:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(trace=traces)
+    def test_binary_round_trip(self, trace, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bin") / "t.ctb"
+        write_trace_binary(trace, path)
+        assert_traces_equal(read_trace_binary(path), trace)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(trace=traces)
+    def test_text_to_binary_to_memory(self, trace, tmp_path_factory):
+        """text -> memory -> binary -> memory preserves the request stream."""
+        tmp = tmp_path_factory.mktemp("conv")
+        write_trace(trace, tmp / "t.trace")
+        from_text = read_trace(tmp / "t.trace")
+        write_trace_binary(from_text, tmp / "t.ctb")
+        from_binary = read_trace_binary(tmp / "t.ctb")
+        # The text format derives client ids from hint sets, so compare the
+        # text-loaded trace (not the original) against its binary round trip.
+        assert_traces_equal(from_binary, from_text)
+
+    def test_round_trip_across_block_boundaries(self, tmp_path):
+        h = make_hint_set("c", object_id=1)
+        requests = [rd(i % 97, h) if i % 3 else wr(i % 97, h) for i in range(BLOCK_REQUESTS * 2 + 5)]
+        trace = Trace(name="big", requests_list=requests)
+        path = tmp_path / "big.ctb"
+        write_trace_binary(trace, path)
+        assert read_trace_binary(path).requests() == requests
+
+    def test_explicit_client_id_preserved(self, tmp_path):
+        h = make_hint_set("db2", object_id=1)
+        trace = Trace(
+            name="x",
+            requests_list=[IORequest(page=1, kind=RequestKind.READ, hints=h, client_id="other")],
+        )
+        path = tmp_path / "x.ctb"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path)
+        assert loaded[0].client_id == "other"
+        assert loaded[0].hints.client_id == "db2"
+
+    def test_hint_dictionary_is_shared_instances(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.ctb"
+        write_trace_binary(trace, path)
+        loaded = read_trace_binary(path)
+        # All requests with the same hint set share one decoded instance, so
+        # the memoised HintSet.key() is shared across the replay.
+        assert loaded[0].hints is loaded[1].hints
+
+
+# ----------------------------------------------------------------- streaming
+
+
+class TestStreaming:
+    def test_streamed_matches_materialized(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.ctb"
+        write_trace_binary(trace, path)
+        streamed = open_trace_binary(path)
+        assert list(streamed.iter_requests()) == trace.requests()
+        assert len(streamed) == len(trace)
+        assert streamed.name == "sample"
+        assert streamed.metadata["seed"] == 7
+
+    def test_reiterable(self, tmp_path):
+        path = tmp_path / "t.ctb"
+        write_trace_binary(sample_trace(), path)
+        streamed = StreamedTrace(path)
+        assert list(streamed) == list(streamed)
+
+    def test_chunks_cover_stream_in_order(self, tmp_path):
+        h = make_hint_set("c", object_id=0)
+        requests = [rd(i, h) for i in range(BLOCK_REQUESTS + 10)]
+        path = tmp_path / "t.ctb"
+        write_trace_binary(Trace(name="t", requests_list=requests), path)
+        chunks = list(StreamedTrace(path).iter_chunks())
+        assert len(chunks) == 2
+        assert [len(chunks[0]), len(chunks[1])] == [BLOCK_REQUESTS, 10]
+        assert [r for chunk in chunks for r in chunk] == requests
+
+    def test_writer_streams_without_trace_object(self, tmp_path):
+        path = tmp_path / "gen.ctb"
+        h = make_hint_set("c", object_id=3)
+        with BinaryTraceWriter(path, name="gen", metadata={"kind": "synthetic"}) as writer:
+            for i in range(10):
+                writer.write(rd(i, h))
+            writer.update_metadata({"emitted": writer.request_count})
+        loaded = read_trace_binary(path)
+        assert len(loaded) == 10
+        assert loaded.metadata == {"kind": "synthetic", "emitted": 10}
+
+    def test_failed_write_leaves_no_file(self, tmp_path):
+        path = tmp_path / "broken.ctb"
+        with pytest.raises(RuntimeError):
+            with BinaryTraceWriter(path, name="broken") as writer:
+                writer.write(rd(1))
+                raise RuntimeError("generator blew up")
+        assert not path.exists()
+
+
+# --------------------------------------------------------------- error paths
+
+
+def _write_sample(tmp_path):
+    path = tmp_path / "t.ctb"
+    write_trace_binary(sample_trace(), path)
+    return path
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ctb"
+        path.write_bytes(b"NOTATRACE" * 4)
+        with pytest.raises(TraceFormatError, match="magic"):
+            StreamedTrace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = _write_sample(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[6] = 99  # version byte follows the 6-byte magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version 99"):
+            StreamedTrace(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = _write_sample(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 20])
+        with pytest.raises(TraceFormatError, match="truncated|trailer"):
+            StreamedTrace(path)
+
+    def test_truncation_detected_by_streaming(self, tmp_path):
+        """A file cut off mid-blocks fails even if iteration starts fine."""
+        path = _write_sample(tmp_path)
+        streamed = StreamedTrace(path)
+        data = path.read_bytes()
+        # Rewrite with the END record and footer stripped: the summary was
+        # already parsed, so only iteration notices.
+        path.write_bytes(data[:20])
+        with pytest.raises(TraceFormatError):
+            list(streamed.iter_requests())
+
+    def test_undefined_hint_set_id(self, tmp_path):
+        path = _write_sample(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Corrupt the first request record's hint reference to an undefined
+        # id: find the first BLOCK tag (0x03) after the dictionary entries.
+        idx = data.index(bytes([0x03]), 7)
+        # BLOCK: tag, varint count, varint length, then flags byte, page
+        # varint, hint varint.  The sample's first request is page 1, hint 1:
+        # bytes [flags, 0x01, 0x01].  Bump the hint ref far out of range.
+        body_start = idx + 3
+        assert data[body_start + 1] == 0x01 and data[body_start + 2] == 0x01
+        data[body_start + 2] = 0x7F
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="undefined hint set id"):
+            list(StreamedTrace(path).iter_requests())
+
+    def test_end_count_mismatch(self, tmp_path):
+        path = _write_sample(tmp_path)
+        data = bytearray(path.read_bytes())
+        end_offset = struct.unpack("<Q", data[-16:-8])[0]
+        assert data[end_offset] == 0x04
+        data[end_offset + 1] = 0x05  # sample has 6 requests; claim 5
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="declares 5 requests"):
+            list(StreamedTrace(path).iter_requests())
+
+    def test_metadata_must_be_object(self, tmp_path):
+        path = tmp_path / "bad.ctb"
+        payload = json.dumps([1, 2]).encode()
+        body = b"CLICBT" + bytes([1]) + bytes([0x01, len(payload)]) + payload
+        end_offset = len(body)
+        body += bytes([0x04, 0, 2]) + b"{}"
+        body += struct.pack("<Q8s", end_offset, b"CLICEND\x00")
+        path.write_bytes(body)
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            StreamedTrace(path)

@@ -119,6 +119,47 @@ class TestTraceIO:
         with pytest.raises(TraceFormatError):
             read_trace(path)
 
+    def test_malformed_meta_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#meta {not json}\nR 1 -1\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_trace(path)
+
+    def test_meta_must_be_json_object(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('#meta [1, 2]\n')
+        with pytest.raises(TraceFormatError, match="line 1.*object"):
+            read_trace(path)
+
+    def test_non_integer_hint_set_id_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('#hintset x {"client":"c","names":[],"values":[]}\n')
+        with pytest.raises(TraceFormatError, match="line 1.*non-integer hint set id"):
+            read_trace(path)
+
+    def test_truncated_hint_set_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#hintset 0\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_trace(path)
+
+    def test_error_reports_offending_line_number(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "bad.trace"
+        write_trace(trace, path)
+        path.write_text(path.read_text() + "R one 0\n")
+        # 1 meta + 2 hintset + 5 request lines precede the bad line.
+        with pytest.raises(TraceFormatError, match="line 9: non-integer field"):
+            read_trace(path)
+
+    def test_undefined_hint_set_error_names_id_and_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 1 0\nR 2 7\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(path)
+        assert "line 1" in str(excinfo.value)
+        assert "undefined hint set id 0" in str(excinfo.value)
+
     def test_blank_lines_ignored(self, tmp_path):
         trace = sample_trace()
         path = tmp_path / "sample.trace"

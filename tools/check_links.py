@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's docs (no dependencies).
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links/images ``[text](target)`` and verifies that every *relative*
+target resolves to an existing file or directory, and that any fragment on
+a markdown target (``file.md#section``) matches a heading in that file.
+External links (``http(s)://``, ``mailto:``) are not fetched.
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+
+Exits non-zero listing every broken link.  Run by the CI docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images; deliberately simple — fenced code blocks are stripped
+# before matching so `[x](y)` inside code examples is ignored.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_INLINE_CODE = re.compile(r"`[^`\n]*`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    """GitHub-style anchors for every heading in *markdown*."""
+    anchors = set()
+    for heading in _HEADING.findall(_FENCE.sub("", markdown)):
+        text = re.sub(r"[`*_]", "", heading.strip().lower())
+        text = re.sub(r"[^\w\- ]", "", text)
+        anchors.add(text.replace(" ", "-"))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    scannable = _INLINE_CODE.sub("", _FENCE.sub("", text))
+    for target in _LINK.findall(scannable):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in heading_anchors(resolved.read_text(encoding="utf-8")):
+                problems.append(f"{path}: missing anchor -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
