@@ -101,7 +101,11 @@ class OPTPolicy(CachePolicy):
         next_read = self._next_read(page, seq)
         if hit:
             if next_read == _NEVER:
-                # The page will never be read again: free the slot immediately.
+                # The page will never be read again: free the slot
+                # immediately.  This *hit-path drop* counts as an eviction —
+                # the page leaves the cache — so ``evictions`` can exceed
+                # the number of capacity-pressure replacements, and
+                # ``admissions - evictions == len(cache)`` still holds.
                 del self._cached[page]
                 self.stats.evictions += 1
             else:
@@ -131,7 +135,15 @@ class OPTPolicy(CachePolicy):
         return False
 
     def _pop_farthest(self) -> int | None:
-        """Return the cached page with the farthest next read (without removing it)."""
+        """Pop and return the cached page with the farthest next read.
+
+        The page's (current, non-stale) heap entry is removed along the way,
+        so a caller that decides *not* to evict the returned page must push
+        the entry back (see the bypass branch in :meth:`access`); the page
+        itself stays in ``_cached`` either way.  Stale entries skipped
+        during the scan are discarded for good.  Returns ``None`` when no
+        cached page has a live heap entry.
+        """
         while self._heap:
             neg_time, page = self._heap[0]
             current = self._cached.get(page)

@@ -65,6 +65,17 @@ def available_policies() -> Iterable[str]:
     return sorted(_REGISTRY)
 
 
+def _sharded_factory(capacity: int, **kwargs) -> CachePolicy:
+    # ShardedCache lives in the simulation layer (it composes policies built
+    # through this registry), so it is imported at call time: registering it
+    # here keeps "SHARDED" resolvable in every process — sweep workers
+    # rebuild policies from pickled (name, kwargs) specs — without a
+    # circular import at module load.
+    from repro.simulation.cluster import ShardedCache
+
+    return ShardedCache(capacity=capacity, **kwargs)
+
+
 def _register_builtins() -> None:
     # CLICPolicy is imported lazily to avoid a circular import at module load
     # (repro.core.clic depends on repro.cache.base).
@@ -82,6 +93,7 @@ def _register_builtins() -> None:
         "OPT": OPTPolicy,
         "TQ": TQPolicy,
         "CLIC": CLICPolicy,
+        "SHARDED": _sharded_factory,
     }
     for name, factory in builtin.items():
         register_policy(name, factory, overwrite=True)

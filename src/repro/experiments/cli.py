@@ -33,6 +33,17 @@ from repro.trace.cache import (
 __all__ = ["main", "build_parser", "render_result"]
 
 
+def _shard_counts(text: str) -> tuple[int, ...]:
+    """Parse ``--shards`` (e.g. ``1,2,4``) into a tuple of positive ints."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid shard counts {text!r}")
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(f"shard counts must be >= 1, got {text!r}")
+    return counts
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -58,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for sweep grids (default: 1 = serial; "
         "results are identical at any job count)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_shard_counts,
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated shard counts for the cluster experiment "
+        "(default: 1,2,4,8; shard count 1 is the unified-cache baseline)",
     )
     parser.add_argument(
         "--csv-dir",
@@ -124,9 +143,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.environ[CACHE_ENV_VAR] = str(args.trace_cache)
         set_default_trace_cache(TraceCache(root=args.trace_cache))
 
-    settings = ExperimentSettings(
+    settings_kwargs = dict(
         target_requests=args.requests, seed=args.seed, jobs=args.jobs
     )
+    if args.shards is not None:
+        settings_kwargs["shard_counts"] = args.shards
+    settings = ExperimentSettings(**settings_kwargs)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
 

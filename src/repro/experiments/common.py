@@ -26,6 +26,11 @@ __all__ = [
     "DEFAULT_SETTINGS",
 ]
 
+#: Distinct "not given" marker for optional overrides whose valid values
+#: include ``None`` and other falsy values (``top_k=None`` means "exact hint
+#: table", ``window_size`` must not be coerced by truthiness).
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:
@@ -45,14 +50,26 @@ class ExperimentSettings:
     top_k: int | None = None         # None = exact hint table (Sections 3-4)
     #: Worker processes for sweep grids (1 = serial, bit-identical results).
     jobs: int = 1
+    #: Shard counts swept by the cluster experiment; 1 is the unified cache.
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
 
-    def clic_config(self, top_k: int | None = None, window_size: int | None = None) -> CLICConfig:
-        """CLIC configuration matching the paper's settings, scaled to the trace length."""
+    def clic_config(self, top_k=_UNSET, window_size=_UNSET) -> CLICConfig:
+        """CLIC configuration matching the paper's settings, scaled to the trace length.
+
+        Both overrides distinguish "not given" (``_UNSET``) from every
+        explicit value: ``top_k=None`` overrides a settings-level ``top_k``
+        back to the exact hint table, and ``window_size`` is taken verbatim
+        instead of being replaced by the default whenever it is falsy.
+        """
         return CLICConfig(
-            window_size=window_size or clic_window_for(self.target_requests),
+            window_size=(
+                clic_window_for(self.target_requests)
+                if window_size is _UNSET
+                else window_size
+            ),
             decay=self.decay,
             outqueue_factor=self.outqueue_factor,
-            top_k=self.top_k if top_k is None else top_k,
+            top_k=self.top_k if top_k is _UNSET else top_k,
         )
 
 
@@ -131,8 +148,13 @@ def generate_trace(
     return trace
 
 
-def clic_kwargs(settings: ExperimentSettings, top_k: int | None = None) -> dict:
-    """Keyword arguments for constructing CLIC through the policy registry."""
+def clic_kwargs(settings: ExperimentSettings, top_k=_UNSET) -> dict:
+    """Keyword arguments for constructing CLIC through the policy registry.
+
+    ``top_k`` follows the same sentinel convention as
+    :meth:`ExperimentSettings.clic_config`: omitted means "use the
+    settings-level value", ``None`` means the exact hint table.
+    """
     return {"config": settings.clic_config(top_k=top_k)}
 
 

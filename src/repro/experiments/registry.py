@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, hint_priorities, multiclient, noise, policies
-from repro.experiments import schemas_table, topk, traces_table
+from repro.experiments import ablations, cluster, hint_priorities, multiclient, noise
+from repro.experiments import policies, schemas_table, topk, traces_table
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -81,6 +81,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         "Figure 11",
         "Three DB2 clients sharing one CLIC cache vs. equal static partitioning.",
         multiclient.run_multiclient_experiment,
+    ),
+    "cluster": Experiment(
+        "cluster",
+        "extension",
+        "Shard count x policy: unified cache vs. equal-capacity sharded cluster.",
+        cluster.run_cluster_experiment,
     ),
     "abl-window": Experiment(
         "abl-window",

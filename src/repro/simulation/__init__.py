@@ -1,5 +1,13 @@
 """Trace-driven simulation of the storage-server cache."""
 
+from repro.simulation.cluster import (
+    ClientAffinityRouter,
+    HashRouter,
+    PageRangeRouter,
+    ShardedCache,
+    ShardRouter,
+    make_router,
+)
 from repro.simulation.engine import (
     MultiPolicySimulator,
     ParallelSweepRunner,
@@ -42,6 +50,12 @@ __all__ = [
     "interleave_round_robin",
     "partition_capacity",
     "remap_pages",
+    "ShardedCache",
+    "ShardRouter",
+    "HashRouter",
+    "PageRangeRouter",
+    "ClientAffinityRouter",
+    "make_router",
     "compare_policies",
     "run_policy",
     "sweep_cache_sizes",

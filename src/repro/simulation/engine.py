@@ -50,7 +50,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
-from repro.simulation.metrics import SimulationResult, SweepResult
+from repro.simulation.metrics import SimulationResult, SweepResult, per_shard_stats
 from repro.simulation.request import IORequest, RequestKind
 
 __all__ = [
@@ -263,34 +263,39 @@ class MultiPolicySimulator:
                     stats=policy.stats,
                     per_client=client_stats,
                     elapsed_seconds=elapsed,
+                    per_shard=per_shard_stats(policy),
                 )
             )
         return results
 
     def _prepare_offline(self, source: RequestSource, start_seq: int) -> None:
-        """Prepare offline policies, sharing one future index per policy type.
+        """Prepare offline policies, sharing one future index per index builder.
 
         OPT-style policies (``build_read_index``/``adopt_read_index``) are
         fed a streaming pass, so a lazy source never has to materialize; a
         generic ``prepare`` contract expects a sequence, so only that legacy
-        path materializes a lazy source (once).
+        path materializes a lazy source (once).  The shared-index cache is
+        keyed by the builder function itself, so types that delegate to the
+        same builder (``ShardedCache`` reuses OPT's) share one index with it
+        instead of each indexing the stream.
         """
-        shared_indexes: dict[type, object] = {}
+        shared_indexes: dict[object, object] = {}
         materialized: Sequence[IORequest] | None = None
         for policy in self._policies:
             if not policy.offline:
                 continue
             cls = type(policy)
             if hasattr(cls, "build_read_index") and hasattr(policy, "adopt_read_index"):
-                index = shared_indexes.get(cls)
+                builder = cls.build_read_index
+                index = shared_indexes.get(builder)
                 if index is None:
                     stream = (
                         source
                         if isinstance(source, (list, tuple))
                         else source.iter_requests()
                     )
-                    index = cls.build_read_index(stream, start_seq)
-                    shared_indexes[cls] = index
+                    index = builder(stream, start_seq)
+                    shared_indexes[builder] = index
                 policy.adopt_read_index(index)
             else:
                 if materialized is None:

@@ -7,18 +7,42 @@ from typing import Mapping, Sequence
 
 from repro.cache.base import CacheStats
 
-__all__ = ["SimulationResult", "SweepPoint", "SweepResult", "format_table"]
+__all__ = [
+    "SimulationResult",
+    "SweepPoint",
+    "SweepResult",
+    "format_table",
+    "per_shard_stats",
+]
+
+
+def per_shard_stats(policy) -> tuple[CacheStats, ...]:
+    """Per-shard stats snapshot for sharded-cluster policies, else empty.
+
+    Both replay paths (the engine and :class:`CacheSimulator`) call this on
+    every policy when building results: anything exposing ``shard_stats()``
+    (:class:`~repro.simulation.cluster.ShardedCache`) gets its per-shard
+    breakdown surfaced as :attr:`SimulationResult.per_shard`.
+    """
+    shard_stats = getattr(policy, "shard_stats", None)
+    return shard_stats() if callable(shard_stats) else ()
 
 
 @dataclass
 class SimulationResult:
-    """Outcome of driving one policy over one request stream."""
+    """Outcome of driving one policy over one request stream.
+
+    ``per_shard`` is filled when the policy is a sharded cluster
+    (:class:`~repro.simulation.cluster.ShardedCache`): one stats snapshot
+    per shard, in shard order.  It stays empty for ordinary policies.
+    """
 
     policy_name: str
     capacity: int
     stats: CacheStats
     per_client: dict[str, CacheStats] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    per_shard: tuple[CacheStats, ...] = ()
 
     @property
     def read_hit_ratio(self) -> float:
@@ -33,14 +57,49 @@ class SimulationResult:
         stats = self.per_client.get(client_id)
         return 0.0 if stats is None else stats.read_hit_ratio
 
+    # ------------------------------------------------------ per-shard views
+    @property
+    def shard_count(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def shard_read_hit_ratios(self) -> list[float]:
+        """Read hit ratio of each shard, in shard order."""
+        return [stats.read_hit_ratio for stats in self.per_shard]
+
+    @property
+    def shard_request_counts(self) -> list[int]:
+        """Requests routed to each shard, in shard order."""
+        return [stats.requests for stats in self.per_shard]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean shard load: 1.0 is perfectly balanced.
+
+        A shard serving no requests drags the mean down, so idle shards push
+        the statistic up (e.g. 2 busy + 2 idle shards -> 2.0).  Unsharded
+        results (and clusters that saw no requests) report 1.0.
+        """
+        counts = self.shard_request_counts
+        total = sum(counts)
+        if not counts or total == 0:
+            return 1.0
+        return max(counts) * len(counts) / total
+
     def as_dict(self) -> dict:
-        return {
+        row = {
             "policy": self.policy_name,
             "capacity": self.capacity,
             "read_hit_ratio": self.read_hit_ratio,
             "elapsed_seconds": self.elapsed_seconds,
             **self.stats.as_dict(),
         }
+        if self.per_shard:
+            row["shards"] = self.shard_count
+            row["load_imbalance"] = self.load_imbalance
+            row["shard_read_hit_ratios"] = self.shard_read_hit_ratios
+            row["shard_request_counts"] = self.shard_request_counts
+        return row
 
     def __str__(self) -> str:
         return (
@@ -100,22 +159,29 @@ class SweepResult:
         return rows
 
     def to_table(self) -> str:
-        """Render as a text table: one row per x value, one column per series."""
-        xs = sorted({point.x for points in self.series.values() for point in points})
+        """Render as a text table: one row per x value, one column per series.
+
+        Every point is rendered, consistently with :meth:`as_rows`: a series
+        with several points at the same x (e.g. repeated runs) gets one
+        table row per duplicate, in insertion order, instead of silently
+        collapsing to the last value.
+        """
         labels = self.labels()
+        lookup: dict[tuple[str, float], list[float]] = {}
+        for label, points in self.series.items():
+            for point in points:
+                lookup.setdefault((label, point.x), []).append(point.read_hit_ratio)
+        xs = sorted({x for _, x in lookup})
         header = [self.parameter] + labels
         rows: list[list[str]] = []
-        lookup = {
-            (label, point.x): point.read_hit_ratio
-            for label, points in self.series.items()
-            for point in points
-        }
         for x in xs:
-            row = [f"{x:g}"]
-            for label in labels:
-                value = lookup.get((label, x))
-                row.append("-" if value is None else f"{value:.2%}")
-            rows.append(row)
+            depth = max((len(lookup.get((label, x), ())) for label in labels), default=0)
+            for index in range(depth):
+                row = [f"{x:g}"]
+                for label in labels:
+                    values = lookup.get((label, x), ())
+                    row.append(f"{values[index]:.2%}" if index < len(values) else "-")
+                rows.append(row)
         return format_table(header, rows)
 
 

@@ -15,7 +15,7 @@ import time
 from typing import Iterable, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
-from repro.simulation.metrics import SimulationResult
+from repro.simulation.metrics import SimulationResult, per_shard_stats
 from repro.simulation.request import IORequest
 
 __all__ = ["CacheSimulator", "simulate"]
@@ -67,6 +67,7 @@ class CacheSimulator:
             stats=policy.stats,
             per_client=per_client,
             elapsed_seconds=elapsed,
+            per_shard=per_shard_stats(policy),
         )
 
 

@@ -19,6 +19,16 @@ class TestParser:
         args = build_parser().parse_args(["--list"])
         assert args.list is True
 
+    def test_shards_flag_parses_counts(self):
+        args = build_parser().parse_args(["cluster", "--shards", "1,2,4"])
+        assert args.shards == (1, 2, 4)
+
+    def test_shards_flag_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--shards", "two"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--shards", "0,2"])
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):

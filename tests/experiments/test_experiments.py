@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import ExperimentSettings, clear_trace_cache, generate_trace
+from repro.experiments.cluster import run_cluster_experiment
+from repro.experiments.common import (
+    ExperimentSettings,
+    clear_trace_cache,
+    clic_kwargs,
+    generate_trace,
+)
 from repro.experiments.hint_priorities import run_hint_priority_scatter
 from repro.experiments.multiclient import run_multiclient_experiment
 from repro.experiments.noise import run_noise_experiment
@@ -35,6 +41,24 @@ class TestCommon:
     def test_clic_config_scales_window(self):
         settings = ExperimentSettings(target_requests=300_000)
         assert settings.clic_config().window_size == 10_000
+
+    def test_clic_config_top_k_none_overrides_settings(self):
+        """Regression: top_k=None must mean "exact hint table", not "unset"."""
+        settings = ExperimentSettings(top_k=50)
+        assert settings.clic_config().top_k == 50
+        assert settings.clic_config(top_k=None).top_k is None
+        assert settings.clic_config(top_k=7).top_k == 7
+        assert clic_kwargs(settings)["config"].top_k == 50
+        assert clic_kwargs(settings, top_k=None)["config"].top_k is None
+
+    def test_clic_config_window_size_taken_verbatim(self):
+        """Regression: an explicit window_size is never replaced by the default."""
+        settings = ExperimentSettings(target_requests=300_000)
+        assert settings.clic_config(window_size=123).window_size == 123
+        with pytest.raises(ValueError):
+            # Explicit invalid values now surface instead of being silently
+            # swapped for the default by truthiness.
+            settings.clic_config(window_size=0)
 
 
 class TestRegistry:
@@ -138,6 +162,57 @@ class TestFigure11:
         rows = result.as_rows()
         assert rows[-1]["trace"] == "overall"
         assert 0.0 <= result.shared_overall <= 1.0
+
+
+class TestClusterExperiment:
+    def test_cluster_rows_cover_grid_and_baseline(self):
+        rows = run_cluster_experiment(
+            trace_names=("DB2_C60",),
+            multi_trace_names=("DB2_C60", "DB2_C300"),
+            cache_size=600,
+            policies=("LRU", "CLIC"),
+            settings=TINY,
+            shard_counts=(1, 2),
+        )
+        # 2 workloads x 2 shard counts x 2 policies.
+        assert len(rows) == 8
+        workloads = {row["workload"] for row in rows}
+        assert workloads == {"DB2_C60", "interleaved"}
+        assert {row["router"] for row in rows} == {"hash", "client"}
+        for row in rows:
+            assert 0.0 <= row["read_hit_ratio"] <= 1.0
+            assert row["load_imbalance"] >= 1.0
+            assert row["min_shard_hit_ratio"] <= row["read_hit_ratio"] + 1e-9
+            assert row["max_shard_hit_ratio"] >= row["read_hit_ratio"] - 1e-9
+
+    def test_single_shard_rows_match_unsharded_policy(self):
+        """The shards=1 rows are the unified baseline, bit-identical."""
+        from repro.experiments.policies import run_policy_comparison
+
+        rows = run_cluster_experiment(
+            trace_names=("DB2_C60",),
+            multi_trace_names=(),
+            cache_size=600,
+            policies=("LRU",),
+            settings=TINY,
+            shard_counts=(1,),
+        )
+        unified = run_policy_comparison(["DB2_C60"], TINY, cache_sizes=[600])
+        expected = unified["DB2_C60"].series["LRU"][0].read_hit_ratio
+        assert rows[0]["read_hit_ratio"] == expected
+
+    def test_shard_counts_default_from_settings(self):
+        settings = ExperimentSettings(
+            target_requests=2_000, seed=5, shard_counts=(1, 3)
+        )
+        rows = run_cluster_experiment(
+            trace_names=("DB2_C60",),
+            multi_trace_names=(),
+            cache_size=300,
+            policies=("LRU",),
+            settings=settings,
+        )
+        assert [row["shards"] for row in rows] == [1, 3]
 
 
 class TestAblations:

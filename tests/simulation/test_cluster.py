@@ -1,0 +1,294 @@
+"""Tests for the sharded-cluster layer: routers, ShardedCache, determinism."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import CacheStats
+from repro.cache.registry import available_policies, create_policy
+from repro.core.hints import make_hint_set
+from repro.simulation.cluster import (
+    ClientAffinityRouter,
+    HashRouter,
+    PageRangeRouter,
+    ShardedCache,
+    make_router,
+)
+from repro.simulation.engine import MultiPolicySimulator, PolicySpec, SweepCell
+from repro.simulation.multiclient import interleave_round_robin, partition_capacity
+from repro.simulation.request import IORequest, RequestKind
+from repro.simulation.simulator import CacheSimulator
+from repro.simulation.sweep import sweep_cache_sizes
+
+
+def _trace(rng: random.Random, clients=("alpha",), n=3000, pages=800):
+    requests = []
+    for i in range(n):
+        client = clients[i % len(clients)]
+        requests.append(
+            IORequest(
+                page=rng.randrange(pages),
+                kind=RequestKind.READ if rng.random() < 0.8 else RequestKind.WRITE,
+                hints=make_hint_set(client, object_id=rng.randrange(6)),
+            )
+        )
+    return requests
+
+
+def _request(page: int, client: str = "c") -> IORequest:
+    return IORequest(page=page, kind=RequestKind.READ, hints=make_hint_set(client))
+
+
+class TestRouters:
+    def test_hash_router_is_deterministic_and_in_range(self):
+        router = HashRouter(5)
+        for page in range(1000):
+            shard = router.route(_request(page))
+            assert 0 <= shard < 5
+            assert shard == HashRouter(5).route(_request(page))
+
+    def test_hash_router_spreads_strided_pages(self):
+        """A strided page pattern must not alias onto a single shard."""
+        router = HashRouter(4)
+        shards = {router.route(_request(page)) for page in range(0, 4000, 4)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_range_router_is_contiguous_and_clamps(self):
+        router = PageRangeRouter(4, span=400)
+        boundaries = [router.route(_request(page)) for page in range(400)]
+        assert boundaries == sorted(boundaries)          # contiguous ranges
+        assert set(boundaries) == {0, 1, 2, 3}
+        assert router.route(_request(10_000)) == 3       # clamps high
+        assert router.route(_request(-5)) == 0           # clamps low
+
+    def test_client_router_assigns_by_first_appearance(self):
+        router = ClientAffinityRouter(3)
+        assert router.route(_request(1, "a")) == 0
+        assert router.route(_request(2, "b")) == 1
+        assert router.route(_request(3, "c")) == 2
+        assert router.route(_request(4, "d")) == 0       # wraps round-robin
+        assert router.route(_request(9, "b")) == 1       # sticky per client
+
+    def test_make_router_names_and_errors(self):
+        assert isinstance(make_router("hash", 2), HashRouter)
+        assert isinstance(make_router("client", 2), ClientAffinityRouter)
+        assert isinstance(make_router("range", 2, page_span=100), PageRangeRouter)
+        with pytest.raises(ValueError, match="page_span"):
+            make_router("range", 2)
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("mystery", 2)
+        ready = HashRouter(3)
+        assert make_router(ready, 3) is ready
+        with pytest.raises(ValueError, match="shards"):
+            make_router(ready, 4)
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError):
+            HashRouter(0)
+        with pytest.raises(TypeError):
+            HashRouter(2.5)
+
+
+class TestShardedCacheBasics:
+    def test_capacity_is_partitioned_exactly(self):
+        cluster = ShardedCache(capacity=10, policy="LRU", shards=3)
+        assert cluster.capacity == 10
+        assert [shard.capacity for shard in cluster.shards] == partition_capacity(10, 3)
+
+    def test_capacity_invariant_and_disjoint_shards(self, rng):
+        cluster = ShardedCache(capacity=30, policy="LRU", shards=4)
+        for seq, request in enumerate(_trace(rng, n=2000, pages=300)):
+            cluster.access(request, seq)
+            assert len(cluster) <= cluster.capacity
+        # Each cached page lives only in the shard that owns it.
+        for index, shard in enumerate(cluster.shards):
+            for page in shard.cached_pages():
+                assert cluster.router.route(_request(page)) == index
+        assert sorted(cluster.cached_pages()) == sorted(
+            page for shard in cluster.shards for page in shard.cached_pages()
+        )
+
+    def test_aggregate_stats_equal_sum_of_shard_stats(self, rng):
+        cluster = ShardedCache(capacity=40, policy="ARC", shards=3)
+        CacheSimulator(cluster).run(_trace(rng, n=2500))
+        merged = CacheStats()
+        for stats in cluster.shard_stats():
+            merged = merged.merge(stats)
+        assert cluster.stats == merged
+        assert merged.requests == 2500
+
+    def test_reset_clears_every_shard(self, rng):
+        cluster = ShardedCache(capacity=20, policy="LRU", shards=2)
+        CacheSimulator(cluster).run(_trace(rng, n=500))
+        assert len(cluster) > 0
+        cluster.reset()
+        assert len(cluster) == 0
+        assert cluster.stats == CacheStats()
+
+    def test_reset_also_clears_router_state(self, rng):
+        """A reset cluster must route exactly like a freshly built one."""
+        cluster = ShardedCache(capacity=20, policy="LRU", shards=2, router="client")
+        CacheSimulator(cluster).run([_request(1, "b"), _request(2, "c")])
+        cluster.reset()
+        stream = _trace(rng, clients=("a", "b"), n=600)
+        reset_result = CacheSimulator(cluster).run(stream)
+        fresh = ShardedCache(capacity=20, policy="LRU", shards=2, router="client")
+        fresh_result = CacheSimulator(fresh).run(stream)
+        assert reset_result.per_shard == fresh_result.per_shard
+        assert reset_result.stats == fresh_result.stats
+
+    def test_contains_checks_all_shards(self, rng):
+        cluster = ShardedCache(capacity=50, policy="LRU", shards=4)
+        requests = _trace(rng, n=1000, pages=100)
+        CacheSimulator(cluster).run(requests)
+        for page in cluster.cached_pages():
+            assert cluster.contains(page)
+
+    def test_registry_builds_and_specs_pickle(self):
+        cluster = create_policy(
+            "SHARDED", capacity=12, policy="LRU", shards=3, router="hash"
+        )
+        assert isinstance(cluster, ShardedCache)
+        spec = PolicySpec(
+            label="LRUx3",
+            name="SHARDED",
+            capacity=12,
+            kwargs={"policy": "LRU", "shards": 3, "router": "hash"},
+        )
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert isinstance(rebuilt, ShardedCache)
+        assert rebuilt.shard_count == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShardedCache(capacity=10, policy="LRU", shards=0)
+        with pytest.raises(ValueError):
+            ShardedCache(capacity=2, policy="LRU", shards=5)  # < 1 page per shard
+
+
+class TestSingleShardEquivalence:
+    """shards=1 must be bit-identical to the wrapped policy."""
+
+    @pytest.mark.parametrize("router", ["hash", "client"])
+    def test_every_registered_policy(self, rng, router):
+        requests = _trace(rng, clients=("alpha", "beta"), n=2500)
+        for name in available_policies():
+            if name == "SHARDED":
+                continue
+            plain = CacheSimulator(create_policy(name, capacity=60)).run(requests)
+            sharded = CacheSimulator(
+                ShardedCache(capacity=60, policy=name, shards=1, router=router)
+            ).run(requests)
+            assert sharded.stats == plain.stats, name
+            assert sharded.per_client == plain.per_client, name
+
+    def test_engine_path_matches_too(self, rng):
+        requests = _trace(rng, n=2000)
+        plain, sharded = MultiPolicySimulator(
+            [
+                create_policy("OPT", capacity=50),
+                ShardedCache(capacity=50, policy="OPT", shards=1),
+            ]
+        ).run(requests)
+        assert sharded.stats == plain.stats
+        assert sharded.per_client == plain.per_client
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        pages=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300),
+        capacity=st.integers(min_value=1, max_value=20),
+        policy=st.sampled_from(["LRU", "ARC", "TQ", "OPT"]),
+    )
+    def test_property_single_shard_identity(self, pages, capacity, policy):
+        """Property: on any stream, ShardedCache(shards=1) == the bare policy."""
+        stream = [
+            IORequest(
+                page=page,
+                kind=RequestKind.READ if page % 3 else RequestKind.WRITE,
+            )
+            for page in pages
+        ]
+        plain = CacheSimulator(create_policy(policy, capacity=capacity)).run(stream)
+        sharded = CacheSimulator(
+            ShardedCache(capacity=capacity, policy=policy, shards=1)
+        ).run(stream)
+        assert sharded.stats == plain.stats
+        assert sharded.per_client == plain.per_client
+
+
+class TestClusterBehaviour:
+    def test_client_affinity_equals_static_partitioning(self, rng):
+        """S = number of clients rebuilds Figure 11's private caches exactly."""
+        trace_a = _trace(rng, clients=("a",), n=1200, pages=300)
+        trace_b = _trace(rng, clients=("b",), n=1200, pages=300)
+        interleaved = interleave_round_robin([trace_a, trace_b])
+        capacity = 41                                   # odd: uneven partition
+        cluster = ShardedCache(capacity=capacity, policy="LRU", shards=2, router="client")
+        result = CacheSimulator(cluster).run(interleaved)
+
+        sizes = partition_capacity(capacity, 2)
+        by_client: dict[str, list[IORequest]] = {}
+        for request in interleaved:
+            by_client.setdefault(request.client_id, []).append(request)
+        clients = list(by_client)                       # first-appearance order
+        for index, client in enumerate(clients):
+            private = CacheSimulator(create_policy("LRU", capacity=sizes[index]))
+            expected = private.run(by_client[client])
+            assert result.per_shard[index] == expected.stats
+
+    def test_sharded_opt_stays_below_unified_opt(self, rng):
+        requests = _trace(rng, n=3000)
+        unified_policy = create_policy("OPT", capacity=60)
+        cluster = ShardedCache(capacity=60, policy="OPT", shards=4)
+        unified, sharded = MultiPolicySimulator([unified_policy, cluster]).run(requests)
+        assert sharded.read_hit_ratio <= unified.read_hit_ratio + 1e-9
+        # The engine builds ONE future-read index for the whole pass: the
+        # unified OPT and every OPT shard adopt the same object.
+        for shard in cluster.shards:
+            assert shard._read_positions is unified_policy._read_positions
+
+    def test_prepare_shares_one_index_across_opt_shards(self, rng):
+        """The CacheSimulator path must not index the stream once per shard."""
+        cluster = ShardedCache(capacity=40, policy="OPT", shards=3)
+        CacheSimulator(cluster).run(_trace(rng, n=1000))
+        first, *rest = [shard._read_positions for shard in cluster.shards]
+        for positions in rest:
+            assert positions is first
+
+    def test_per_shard_results_surface_in_both_replay_paths(self, rng):
+        requests = _trace(rng, n=1500)
+        build = lambda: ShardedCache(capacity=40, policy="LRU", shards=4)
+        via_simulator = CacheSimulator(build()).run(requests)
+        (via_engine,) = MultiPolicySimulator([build()]).run(requests)
+        assert via_simulator.per_shard == via_engine.per_shard
+        assert via_simulator.shard_count == 4
+        assert sum(via_simulator.shard_request_counts) == 1500
+        assert via_simulator.load_imbalance >= 1.0
+        # An unsharded policy reports no shards.
+        plain = CacheSimulator(create_policy("LRU", capacity=40)).run(requests)
+        assert plain.per_shard == ()
+        assert plain.load_imbalance == 1.0
+
+    def test_cluster_sweep_jobs_do_not_change_results(self, rng):
+        requests = _trace(rng, clients=("a", "b"), n=2000)
+        kwargs = {"SHARDED": {"policy": "LRU", "shards": 3}}
+        serial = sweep_cache_sizes(
+            requests, cache_sizes=[24, 48], policies=["SHARDED"],
+            policy_kwargs=kwargs, jobs=1,
+        )
+        parallel = sweep_cache_sizes(
+            requests, cache_sizes=[24, 48], policies=["SHARDED"],
+            policy_kwargs=kwargs, jobs=4,
+        )
+        assert serial.labels() == parallel.labels()
+        for p_serial, p_parallel in zip(
+            serial.series["SHARDED"], parallel.series["SHARDED"]
+        ):
+            assert p_serial.result.stats == p_parallel.result.stats
+            assert p_serial.result.per_shard == p_parallel.result.per_shard
+            assert p_serial.result.per_client == p_parallel.result.per_client

@@ -101,6 +101,32 @@ class TestMultiPolicySimulator:
     def test_empty_policy_list(self, rng):
         assert MultiPolicySimulator([]).run(_mixed_trace(rng, n=10)) == []
 
+    @pytest.mark.parametrize("boundary_offset", [0, 1])
+    def test_second_client_appearing_at_chunk_boundary(self, rng, boundary_offset):
+        """The per-client fast path must hand over correctly at chunk edges.
+
+        The replay loop runs a single-client fast path until a second client
+        appears, which it detects chunk-by-chunk.  Build a stream whose
+        second client first appears exactly at the CHUNK_SIZE boundary (and,
+        for contrast, one request after it): the totals accumulated by the
+        fast path must be re-attributed to the first client and per-client
+        stats must match the per-request slow path of CacheSimulator.
+        """
+        chunk = MultiPolicySimulator.CHUNK_SIZE
+        alpha = _mixed_trace(rng, clients=("alpha",), n=chunk + boundary_offset)
+        beta = _mixed_trace(rng, clients=("beta",), n=700)
+        requests = alpha + beta
+
+        names = ["LRU", "OPT", "CLIC"]
+        shared = MultiPolicySimulator(
+            [create_policy(name, capacity=80) for name in names]
+        ).run(requests)
+        for name, result in zip(names, shared):
+            expected = CacheSimulator(create_policy(name, capacity=80)).run(requests)
+            assert result.stats == expected.stats, name
+            assert set(result.per_client) == {"alpha", "beta"}
+            assert result.per_client == expected.per_client, name
+
     def test_accepts_iterator_streams(self, rng):
         requests = _mixed_trace(rng, n=1000)
         expected = CacheSimulator(create_policy("LRU", capacity=50)).run(requests)

@@ -1,0 +1,92 @@
+"""Tests for the result containers: per-shard views and sweep rendering."""
+
+from __future__ import annotations
+
+from repro.cache.base import CacheStats
+from repro.simulation.metrics import SimulationResult, SweepResult
+
+
+def _result(hit_ratio_hits: int = 1, reads: int = 2, **kwargs) -> SimulationResult:
+    return SimulationResult(
+        policy_name="LRU",
+        capacity=10,
+        stats=CacheStats(read_requests=reads, read_hits=hit_ratio_hits),
+        **kwargs,
+    )
+
+
+class TestPerShardViews:
+    def test_unsharded_result_reports_no_shards(self):
+        result = _result()
+        assert result.per_shard == ()
+        assert result.shard_count == 0
+        assert result.load_imbalance == 1.0
+        assert "load_imbalance" not in result.as_dict()
+
+    def test_shard_ratios_and_counts(self):
+        result = _result(
+            per_shard=(
+                CacheStats(read_requests=10, read_hits=5),
+                CacheStats(read_requests=30, read_hits=6, write_requests=10),
+            )
+        )
+        assert result.shard_count == 2
+        assert result.shard_read_hit_ratios == [0.5, 0.2]
+        assert result.shard_request_counts == [10, 40]
+        # max/mean = 40 / 25
+        assert result.load_imbalance == 40 * 2 / 50
+        row = result.as_dict()
+        assert row["shards"] == 2
+        assert row["load_imbalance"] == result.load_imbalance
+
+    def test_idle_shards_raise_imbalance(self):
+        result = _result(
+            per_shard=(
+                CacheStats(read_requests=20),
+                CacheStats(read_requests=20),
+                CacheStats(),
+                CacheStats(),
+            )
+        )
+        assert result.load_imbalance == 2.0
+
+    def test_empty_cluster_is_balanced_by_convention(self):
+        result = _result(per_shard=(CacheStats(), CacheStats()))
+        assert result.load_imbalance == 1.0
+
+
+class TestSweepResultRendering:
+    def test_to_table_without_duplicates_unchanged(self):
+        sweep = SweepResult(parameter="x")
+        sweep.add("A", 1.0, _result(1, 2))       # 50%
+        sweep.add("A", 2.0, _result(1, 4))       # 25%
+        sweep.add("B", 1.0, _result(3, 4))       # 75%
+        table = sweep.to_table()
+        lines = table.splitlines()
+        assert lines[0].split() == ["x", "A", "B"]
+        assert lines[2].split() == ["1", "50.00%", "75.00%"]
+        assert lines[3].split() == ["2", "25.00%", "-"]
+
+    def test_to_table_renders_every_duplicate_point(self):
+        """Duplicate (series, x) points render one row each, like as_rows()."""
+        sweep = SweepResult(parameter="x")
+        sweep.add("A", 1.0, _result(1, 2))       # 50%
+        sweep.add("A", 1.0, _result(1, 4))       # 25% duplicate x
+        sweep.add("B", 1.0, _result(3, 4))       # 75%
+        table = sweep.to_table()
+        assert "50.00%" in table and "25.00%" in table
+        value_cells = [
+            cell
+            for line in table.splitlines()[2:]
+            for cell in line.split()[1:]
+            if cell != "-"
+        ]
+        assert len(value_cells) == len(sweep.as_rows())
+
+    def test_duplicates_keep_insertion_order(self):
+        sweep = SweepResult(parameter="x")
+        sweep.add("A", 1.0, _result(1, 2))       # 50% first
+        sweep.add("A", 1.0, _result(1, 4))       # 25% second
+        rows = sweep.to_table().splitlines()[2:]
+        assert rows[0].split()[1] == "50.00%"
+        assert rows[1].split()[1] == "25.00%"
