@@ -22,11 +22,33 @@ def percentage(value: float) -> str:
     return f"{value * 100:.1f}%"
 
 
+def _union_columns(rows: Sequence[Mapping]) -> list[str]:
+    """Column list covering *every* row, in first-seen order.
+
+    Heterogeneous row lists are normal (e.g. sharded results carry columns
+    that unified results lack); deriving columns from ``rows[0]`` alone
+    would silently drop whatever first appears in a later row.
+    """
+    columns: list[str] = []
+    seen: set[str] = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    return columns
+
+
 def rows_to_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
-    """Render a list of row dicts as a fixed-width text table."""
+    """Render a list of row dicts as a fixed-width text table.
+
+    ``columns`` selects/orders the columns explicitly; by default the
+    columns are the first-seen-order union over **all** rows, so columns
+    that only some rows carry still show up (blank where absent).
+    """
     if not rows:
         return "(no rows)"
-    columns = list(columns) if columns is not None else list(rows[0].keys())
+    columns = list(columns) if columns is not None else _union_columns(rows)
     body = []
     for row in rows:
         rendered = []
@@ -41,17 +63,25 @@ def rows_to_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None)
 
 
 def rows_to_csv(rows: Sequence[Mapping], path: str | Path, columns: Sequence[str] | None = None) -> Path:
-    """Write rows to a CSV file and return the path."""
+    """Write rows to a CSV file and return the path.
+
+    Columns default to the first-seen-order union over all rows (never just
+    ``rows[0]``); rows are projected onto the column list here, with missing
+    values written as empty cells — nothing is silently dropped the way a
+    ``DictWriter(extrasaction="ignore")`` would.  With no rows but explicit
+    ``columns``, the header row is still written so downstream plotting
+    tools always get a parseable CSV; only an empty call (no rows, no
+    columns) produces an empty file.
+    """
     path = Path(path)
-    if not rows:
-        path.write_text("")
-        return path
-    columns = list(columns) if columns is not None else list(rows[0].keys())
+    columns = list(columns) if columns is not None else _union_columns(rows)
     with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        if not columns:
+            return path
+        writer = csv.DictWriter(handle, fieldnames=columns)
         writer.writeheader()
         for row in rows:
-            writer.writerow(row)
+            writer.writerow({column: row.get(column, "") for column in columns})
     return path
 
 

@@ -2,6 +2,7 @@
 
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, generate_trace
 from repro.experiments.hint_priorities import run_hint_priority_scatter
+from repro.experiments.latency import LATENCY_POLICIES, run_latency_experiment
 from repro.experiments.multiclient import MultiClientResult, run_multiclient_experiment
 from repro.experiments.noise import run_noise_experiment
 from repro.experiments.policies import (
@@ -29,6 +30,8 @@ __all__ = [
     "ExperimentSettings",
     "generate_trace",
     "run_hint_priority_scatter",
+    "LATENCY_POLICIES",
+    "run_latency_experiment",
     "MultiClientResult",
     "run_multiclient_experiment",
     "run_noise_experiment",

@@ -22,6 +22,7 @@ from repro.analysis.reporting import rows_to_csv, rows_to_table
 from repro.experiments.common import ExperimentSettings
 from repro.experiments.multiclient import MultiClientResult
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.simulation.costmodel import DEVICE_PROFILES, WRITE_POLICIES
 from repro.simulation.metrics import SweepResult
 from repro.trace.cache import (
     CACHE_ENV_VAR,
@@ -55,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPERIMENT",
         help=f"experiment ids to run (available: {', '.join(sorted(EXPERIMENTS))})",
     )
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        metavar="EXPERIMENT",
+        dest="experiment_flags",
+        help="experiment id to run (repeatable; appended after positional ids)",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     parser.add_argument(
         "--requests",
@@ -77,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S1,S2,...",
         help="comma-separated shard counts for the cluster experiment "
         "(default: 1,2,4,8; shard count 1 is the unified-cache baseline)",
+    )
+    parser.add_argument(
+        "--device",
+        choices=sorted(DEVICE_PROFILES),
+        default=None,
+        help="device profile priced by the latency experiment "
+        "(default: ssd; HDD misses are seek-distance-aware)",
+    )
+    parser.add_argument(
+        "--cost-model",
+        choices=WRITE_POLICIES,
+        default=None,
+        dest="cost_model",
+        help="write-handling variant of the service-time cost model "
+        "(default: write-through; write-back absorbs writes at cache speed)",
     )
     parser.add_argument(
         "--csv-dir",
@@ -131,6 +155,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             experiment = EXPERIMENTS[experiment_id]
             print(f"{experiment_id:<14} {experiment.paper_artifact:<10} {experiment.description}")
         return 0
+    if args.experiment_flags:
+        args.experiments = list(args.experiments) + list(args.experiment_flags)
     if not args.experiments:
         parser.error("no experiments given (use --list to see what is available)")
 
@@ -148,6 +174,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     if args.shards is not None:
         settings_kwargs["shard_counts"] = args.shards
+    if args.device is not None:
+        settings_kwargs["device"] = args.device
+    if args.cost_model is not None:
+        settings_kwargs["write_policy"] = args.cost_model
     settings = ExperimentSettings(**settings_kwargs)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

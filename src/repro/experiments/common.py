@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.registry import PAPER_POLICIES
 from repro.core.config import CLICConfig
+from repro.simulation.costmodel import CostModel
 from repro.simulation.engine import RequestSource
 from repro.trace.cache import TraceSpec, default_trace_cache
 from repro.trace.records import Trace
@@ -52,6 +53,13 @@ class ExperimentSettings:
     jobs: int = 1
     #: Shard counts swept by the cluster experiment; 1 is the unified cache.
     shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    #: Device profile priced by the latency experiment (``hdd``/``ssd``/
+    #: ``nvme``, see :data:`repro.simulation.costmodel.DEVICE_PROFILES`).
+    device: str = "ssd"
+    #: Write-handling variant of the cost model (``write-through`` puts the
+    #: device write on the critical path; ``write-back`` absorbs writes at
+    #: cache speed).
+    write_policy: str = "write-through"
 
     def clic_config(self, top_k=_UNSET, window_size=_UNSET) -> CLICConfig:
         """CLIC configuration matching the paper's settings, scaled to the trace length.
@@ -70,6 +78,21 @@ class ExperimentSettings:
             decay=self.decay,
             outqueue_factor=self.outqueue_factor,
             top_k=self.top_k if top_k is _UNSET else top_k,
+        )
+
+    def cost_model(
+        self, device: str | None = None, page_span: int | None = None
+    ) -> CostModel:
+        """The service-time cost model these settings describe.
+
+        ``device`` overrides :attr:`device` (the latency experiment prices
+        several devices against one settings object); ``page_span`` scales
+        HDD seeks to the workload's page-id space.
+        """
+        return CostModel(
+            device=device or self.device,
+            write_policy=self.write_policy,
+            page_span=page_span,
         )
 
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, cluster, hint_priorities, multiclient, noise
-from repro.experiments import policies, schemas_table, topk, traces_table
+from repro.experiments import ablations, cluster, hint_priorities, latency, multiclient
+from repro.experiments import noise, policies, schemas_table, topk, traces_table
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -87,6 +87,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         "extension",
         "Shard count x policy: unified cache vs. equal-capacity sharded cluster.",
         cluster.run_cluster_experiment,
+    ),
+    "latency": Experiment(
+        "latency",
+        "extension",
+        "Service-time cost model: per-policy mean/p50/p99 read latency and throughput.",
+        latency.run_latency_experiment,
     ),
     "abl-window": Experiment(
         "abl-window",

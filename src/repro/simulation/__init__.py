@@ -8,6 +8,13 @@ from repro.simulation.cluster import (
     ShardRouter,
     make_router,
 )
+from repro.simulation.costmodel import (
+    DEVICE_PROFILES,
+    CostModel,
+    DeviceProfile,
+    LatencyStats,
+    make_device_profile,
+)
 from repro.simulation.engine import (
     MultiPolicySimulator,
     ParallelSweepRunner,
@@ -38,6 +45,11 @@ __all__ = [
     "write_request",
     "CacheSimulator",
     "simulate",
+    "CostModel",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "LatencyStats",
+    "make_device_profile",
     "MultiPolicySimulator",
     "ParallelSweepRunner",
     "PolicySpec",

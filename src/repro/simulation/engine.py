@@ -50,6 +50,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
+from repro.simulation.costmodel import CostModel
 from repro.simulation.metrics import SimulationResult, SweepResult, per_shard_stats
 from repro.simulation.request import IORequest, RequestKind
 
@@ -118,11 +119,25 @@ class MultiPolicySimulator:
     the read/write classification once per request instead of once per
     request per policy.  Offline policies exposing ``build_read_index`` /
     ``adopt_read_index`` (OPT) additionally share one future-read index.
+
+    ``cost_model`` opts the replay into a second accounting pass: every
+    (request, hit/miss) outcome is priced against the model's device
+    profile (:mod:`repro.simulation.costmodel`) and each result carries the
+    run's :class:`~repro.simulation.costmodel.LatencyStats` (plus the
+    per-shard analytic breakdown for sharded clusters).  With the default
+    ``None`` the replay loop is the historical hit-ratio-only fast path,
+    unchanged.
     """
 
-    def __init__(self, policies: Sequence[CachePolicy], track_per_client: bool = True):
+    def __init__(
+        self,
+        policies: Sequence[CachePolicy],
+        track_per_client: bool = True,
+        cost_model: CostModel | None = None,
+    ):
         self._policies = list(policies)
         self._track_per_client = track_per_client
+        self._cost_model = cost_model
 
     @property
     def policies(self) -> list[CachePolicy]:
@@ -166,6 +181,12 @@ class MultiPolicySimulator:
         track = self._track_per_client
         read_kind = RequestKind.READ
         chunk_size = self.CHUNK_SIZE
+        cost_model = self._cost_model
+        accumulators = (
+            [cost_model.accumulator_for(policy) for policy in policies]
+            if cost_model
+            else None
+        )
         # Stats snapshot, so per-client numbers for the single-client fast
         # path below count only what this run contributed.
         before = [
@@ -228,17 +249,41 @@ class MultiPolicySimulator:
                     else:
                         row[1] += 1
                         append_target(row[3])
-                for j in range(n):
-                    access = accessors[j]
-                    seq = seq_base
-                    for request, hits in zip(chunk, chunk_targets):
-                        if access(request, seq):
-                            hits[j] += 1
-                        seq += 1
-            else:
+                if accumulators is None:
+                    for j in range(n):
+                        access = accessors[j]
+                        seq = seq_base
+                        for request, hits in zip(chunk, chunk_targets):
+                            if access(request, seq):
+                                hits[j] += 1
+                            seq += 1
+                else:
+                    for j in range(n):
+                        access = accessors[j]
+                        charge = accumulators[j].charge
+                        seq = seq_base
+                        for request, hits in zip(chunk, chunk_targets):
+                            hit = access(request, seq)
+                            if hit:
+                                hits[j] += 1
+                            charge(request, hit)
+                            seq += 1
+            elif accumulators is None:
                 seqs = range(seq_base, seq_base + len(chunk))
                 for access in accessors:
                     deque(map(access, chunk, seqs), maxlen=0)
+            else:
+                # The opt-in cost-accounting pass: same replay order, but
+                # each hit/miss outcome is priced as it happens (seek-aware
+                # devices depend on the access order, so pricing cannot be
+                # deferred to the end of the run).
+                for j in range(n):
+                    access = accessors[j]
+                    charge = accumulators[j].charge
+                    seq = seq_base
+                    for request in chunk:
+                        charge(request, access(request, seq))
+                        seq += 1
             seq_base += len(chunk)
 
         if track and not multi_client and sole_client is not None:
@@ -256,6 +301,18 @@ class MultiPolicySimulator:
                 )
                 for client_id, row in per_client.items()
             }
+            per_shard = per_shard_stats(policy)
+            latency = None
+            shard_latency: tuple = ()
+            if accumulators is not None:
+                latency = accumulators[j].finalize()
+                if per_shard:
+                    # Seek-aware cluster accumulators price each shard
+                    # exactly; otherwise derive analytically (exact for
+                    # position-independent devices).
+                    shard_latency = accumulators[j].shard_latencies() or (
+                        cost_model.shard_latencies(per_shard)
+                    )
             results.append(
                 SimulationResult(
                     policy_name=policy.name,
@@ -263,7 +320,9 @@ class MultiPolicySimulator:
                     stats=policy.stats,
                     per_client=client_stats,
                     elapsed_seconds=elapsed,
-                    per_shard=per_shard_stats(policy),
+                    per_shard=per_shard,
+                    latency=latency,
+                    shard_latency=shard_latency,
                 )
             )
         return results
@@ -382,6 +441,7 @@ def _run_cells(
     cells: Sequence[SweepCell],
     default_requests: RequestSource | None,
     track_per_client: bool,
+    cost_model: CostModel | None = None,
 ) -> list[list[SimulationResult]]:
     """Run *cells*, folding same-stream cells into one shared replay pass.
 
@@ -409,9 +469,9 @@ def _run_cells(
         policies = [
             spec.build() for index in cell_indices for spec in cells[index].specs
         ]
-        results = MultiPolicySimulator(policies, track_per_client=track_per_client).run(
-            streams[stream_id]
-        )
+        results = MultiPolicySimulator(
+            policies, track_per_client=track_per_client, cost_model=cost_model
+        ).run(streams[stream_id])
         offset = 0
         for index in cell_indices:
             width = len(cells[index].specs)
@@ -420,11 +480,42 @@ def _run_cells(
     return outcomes
 
 
+def _ensure_streams(streams: Iterable[RequestSource | None]) -> None:
+    """Call ``ensure()`` once per *distinct* lazy source, skipping ``None``.
+
+    Wide sweeps hand the runner one equal :class:`~repro.trace.cache
+    .TraceSpec` per cell; ensuring each would re-stat (and on a cold cache,
+    race to re-generate) the same trace once per cell.  Hashable sources
+    dedup by equality — matching :func:`_stream_group_key`, so exactly the
+    streams that will fold into one replay pass share one ``ensure()`` —
+    and unhashable ones by identity.
+    """
+    seen: set[object] = set()
+    seen_ids: set[int] = set()
+    for stream in streams:
+        if stream is None:
+            continue
+        ensure = getattr(stream, "ensure", None)
+        if not callable(ensure):
+            continue
+        try:
+            if stream in seen:
+                continue
+            seen.add(stream)
+        except TypeError:
+            if id(stream) in seen_ids:
+                continue
+            seen_ids.add(id(stream))
+        ensure()
+
+
 def _run_cell_batch(
-    cells: Sequence[SweepCell], track_per_client: bool
+    cells: Sequence[SweepCell],
+    track_per_client: bool,
+    cost_model: CostModel | None = None,
 ) -> list[list[SimulationResult]]:
     """Worker entry point: run one batch of cells against the worker stream."""
-    return _run_cells(cells, _WORKER_REQUESTS, track_per_client)
+    return _run_cells(cells, _WORKER_REQUESTS, track_per_client, cost_model)
 
 
 class ParallelSweepRunner:
@@ -441,10 +532,16 @@ class ParallelSweepRunner:
         requests: RequestSource | None = None,
         jobs: int | None = 1,
         track_per_client: bool = True,
+        cost_model: CostModel | None = None,
     ):
         self._requests = requests
         self._jobs = 1 if jobs is None else int(jobs)
         self._track_per_client = track_per_client
+        #: Optional service-time pricing applied to every cell's replay
+        #: (:mod:`repro.simulation.costmodel`).  Cost models are plain
+        #: picklable objects, so they ship to worker processes with the
+        #: cells; ``jobs=1`` and ``jobs=N`` produce identical latency stats.
+        self._cost_model = cost_model
 
     def run(self, cells: Iterable[SweepCell], parameter: str) -> SweepResult:
         cells = list(cells)
@@ -484,7 +581,7 @@ class ParallelSweepRunner:
 
     # ----------------------------------------------------------- execution
     def _run_serial(self, cells: Sequence[SweepCell]) -> list[list[SimulationResult]]:
-        return _run_cells(cells, self._requests, self._track_per_client)
+        return _run_cells(cells, self._requests, self._track_per_client, self._cost_model)
 
     def _run_parallel(
         self, cells: Sequence[SweepCell], jobs: int
@@ -492,10 +589,9 @@ class ParallelSweepRunner:
         # Lazy sources get materialized on disk once, up front, so N workers
         # opening the same spec hit the trace cache instead of racing to
         # generate the trace N times.
-        for stream in [self._requests] + [cell.requests for cell in cells]:
-            ensure = getattr(stream, "ensure", None)
-            if callable(ensure):
-                ensure()
+        _ensure_streams(
+            [self._requests] + [cell.requests for cell in cells]
+        )
         # Split the grid into one contiguous batch per worker: neighbouring
         # cells usually share a request stream, so each batch still folds
         # into shared replay passes inside its worker — jobs>1 keeps both
@@ -506,7 +602,9 @@ class ParallelSweepRunner:
             max_workers=jobs, initializer=_init_worker, initargs=(self._requests,)
         ) as executor:
             futures = [
-                executor.submit(_run_cell_batch, batch, self._track_per_client)
+                executor.submit(
+                    _run_cell_batch, batch, self._track_per_client, self._cost_model
+                )
                 for batch in batches
             ]
             batch_outcomes = [future.result() for future in futures]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cache.base import CacheStats
+from repro.simulation.costmodel import LatencyStats
 
 __all__ = [
     "SimulationResult",
@@ -35,6 +36,14 @@ class SimulationResult:
     ``per_shard`` is filled when the policy is a sharded cluster
     (:class:`~repro.simulation.cluster.ShardedCache`): one stats snapshot
     per shard, in shard order.  It stays empty for ordinary policies.
+
+    ``latency`` is filled when the run was priced by a
+    :class:`~repro.simulation.costmodel.CostModel` (the replay's opt-in
+    second accounting pass): modeled read latency (mean / p50 / p99 over a
+    fixed-bucket histogram), write service time and modeled throughput for
+    this run's requests.  ``None`` for un-priced runs.  ``shard_latency``
+    is the per-shard analytic breakdown (each shard modeled as its own
+    device) when the run was priced *and* the policy is a sharded cluster.
     """
 
     policy_name: str
@@ -43,6 +52,8 @@ class SimulationResult:
     per_client: dict[str, CacheStats] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     per_shard: tuple[CacheStats, ...] = ()
+    latency: LatencyStats | None = None
+    shard_latency: tuple[LatencyStats, ...] = ()
 
     @property
     def read_hit_ratio(self) -> float:
@@ -86,6 +97,77 @@ class SimulationResult:
             return 1.0
         return max(counts) * len(counts) / total
 
+    # ------------------------------------------------------- modeled latency
+    @property
+    def mean_read_latency_us(self) -> float:
+        """Modeled mean read latency in microseconds (0.0 if un-priced)."""
+        latency = self.effective_latency
+        return 0.0 if latency is None else latency.mean_read_us
+
+    @property
+    def p99_read_latency_us(self) -> float:
+        """Modeled p99 read latency in microseconds (0.0 if un-priced)."""
+        latency = self.effective_latency
+        return 0.0 if latency is None else latency.p99_read_us
+
+    @property
+    def cluster_latency(self) -> LatencyStats | None:
+        """Merged per-shard latency: the fleet priced as independent devices.
+
+        Composes the per-shard breakdowns, so each shard keeps its own
+        device — the right aggregate for cluster-vs-unified comparisons.
+        Priced cluster runs track one seek head per shard, so this equals
+        ``latency``; it exists as the explicit fleet view and remains the
+        one every reporting surface uses.  ``None`` for un-priced or
+        unsharded results.
+        """
+        if not self.shard_latency:
+            return None
+        return LatencyStats.merge_all(self.shard_latency)
+
+    @property
+    def effective_latency(self) -> LatencyStats | None:
+        """The latency view every reporting surface uses.
+
+        For sharded priced results this is :attr:`cluster_latency` (the
+        fleet as independent devices); otherwise the run's own
+        :attr:`latency`.  Keeps ``as_dict()``/sweep rows consistent with
+        the latency experiment.
+        """
+        cluster = self.cluster_latency
+        return cluster if cluster is not None else self.latency
+
+    @property
+    def hottest_shard_penalty(self) -> float:
+        """Max-over-mean modeled shard busy time: the queueing skew statistic.
+
+        The hottest shard of a fleet accumulates the deepest queue; modeling
+        each shard as its own device, this is how much more service time the
+        busiest shard owes than the average shard (1.0 = perfectly even, the
+        per-shard analogue of :attr:`load_imbalance` weighted by request
+        *cost* instead of request count).  1.0 for un-priced or unsharded
+        results.
+        """
+        busy = [latency.total_us for latency in self.shard_latency]
+        total = sum(busy)
+        if not busy or total == 0.0:
+            return 1.0
+        return max(busy) * len(busy) / total
+
+    @property
+    def cluster_throughput_rps(self) -> float:
+        """Modeled fleet throughput: shards serve in parallel, the hottest gates.
+
+        0.0 for un-priced or unsharded results (use
+        ``latency.throughput_rps`` for a single server).
+        """
+        if not self.shard_latency:
+            return 0.0
+        slowest = max(latency.busy_seconds for latency in self.shard_latency)
+        if slowest <= 0.0:
+            return 0.0
+        return sum(latency.request_count for latency in self.shard_latency) / slowest
+
     def as_dict(self) -> dict:
         row = {
             "policy": self.policy_name,
@@ -99,6 +181,11 @@ class SimulationResult:
             row["load_imbalance"] = self.load_imbalance
             row["shard_read_hit_ratios"] = self.shard_read_hit_ratios
             row["shard_request_counts"] = self.shard_request_counts
+        if self.latency is not None:
+            row.update(self.effective_latency.as_dict())
+        if self.shard_latency:
+            row["hottest_shard_penalty"] = self.hottest_shard_penalty
+            row["cluster_throughput_rps"] = self.cluster_throughput_rps
         return row
 
     def __str__(self) -> str:
@@ -144,18 +231,29 @@ class SweepResult:
         """The (x, read hit ratio) samples for one series."""
         return [(point.x, point.read_hit_ratio) for point in self.series[label]]
 
+    def mean_read_latencies(self, label: str) -> list[float]:
+        """Modeled mean read latency (us) per point (0.0 for un-priced points)."""
+        return [point.result.mean_read_latency_us for point in self.series[label]]
+
     def as_rows(self) -> list[dict]:
-        """Flatten into rows suitable for CSV output or tabular printing."""
+        """Flatten into rows suitable for CSV output or tabular printing.
+
+        Points priced by a cost model additionally carry the modeled-latency
+        columns (mean/p50/p99 read latency, throughput); un-priced sweeps
+        emit exactly the historical hit-ratio rows.
+        """
         rows = []
         for label, points in self.series.items():
             for point in points:
-                rows.append(
-                    {
-                        "series": label,
-                        self.parameter: point.x,
-                        "read_hit_ratio": point.read_hit_ratio,
-                    }
-                )
+                row = {
+                    "series": label,
+                    self.parameter: point.x,
+                    "read_hit_ratio": point.read_hit_ratio,
+                }
+                latency = point.result.effective_latency
+                if latency is not None:
+                    row.update(latency.report_columns())
+                rows.append(row)
         return rows
 
     def to_table(self) -> str:

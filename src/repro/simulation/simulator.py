@@ -15,6 +15,7 @@ import time
 from typing import Iterable, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
+from repro.simulation.costmodel import CostModel
 from repro.simulation.metrics import SimulationResult, per_shard_stats
 from repro.simulation.request import IORequest
 
@@ -22,11 +23,23 @@ __all__ = ["CacheSimulator", "simulate"]
 
 
 class CacheSimulator:
-    """Drives one cache policy with a stream of I/O requests."""
+    """Drives one cache policy with a stream of I/O requests.
 
-    def __init__(self, policy: CachePolicy, track_per_client: bool = True):
+    ``cost_model`` opts the run into service-time pricing
+    (:mod:`repro.simulation.costmodel`): the result's ``latency`` (and, for
+    sharded clusters, ``shard_latency``) fields are filled, identically to
+    the shared-replay engine's accounting pass.
+    """
+
+    def __init__(
+        self,
+        policy: CachePolicy,
+        track_per_client: bool = True,
+        cost_model: CostModel | None = None,
+    ):
         self._policy = policy
         self._track_per_client = track_per_client
+        self._cost_model = cost_model
 
     @property
     def policy(self) -> CachePolicy:
@@ -48,6 +61,9 @@ class CacheSimulator:
             policy.prepare(requests, start_seq)
 
         per_client: dict[str, CacheStats] = {}
+        accumulator = (
+            self._cost_model.accumulator_for(policy) if self._cost_model else None
+        )
         started = time.perf_counter()
         seq = start_seq
         for request in requests:
@@ -58,16 +74,29 @@ class CacheSimulator:
                     client_stats = CacheStats()
                     per_client[request.client_id] = client_stats
                 client_stats.record(request, hit)
+            if accumulator is not None:
+                accumulator.charge(request, hit)
             seq += 1
         elapsed = time.perf_counter() - started
 
+        per_shard = per_shard_stats(policy)
+        latency = None
+        shard_latency: tuple = ()
+        if accumulator is not None:
+            latency = accumulator.finalize()
+            if per_shard:
+                shard_latency = accumulator.shard_latencies() or (
+                    self._cost_model.shard_latencies(per_shard)
+                )
         return SimulationResult(
             policy_name=policy.name,
             capacity=policy.capacity,
             stats=policy.stats,
             per_client=per_client,
             elapsed_seconds=elapsed,
-            per_shard=per_shard_stats(policy),
+            per_shard=per_shard,
+            latency=latency,
+            shard_latency=shard_latency,
         )
 
 
@@ -75,6 +104,9 @@ def simulate(
     policy: CachePolicy,
     requests: Iterable[IORequest],
     track_per_client: bool = True,
+    cost_model: CostModel | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: ``CacheSimulator(policy).run(requests)``."""
-    return CacheSimulator(policy, track_per_client=track_per_client).run(requests)
+    return CacheSimulator(
+        policy, track_per_client=track_per_client, cost_model=cost_model
+    ).run(requests)

@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cache.base import CachePolicy
 from repro.core.config import CLICConfig
+from repro.simulation.costmodel import CostModel
 from repro.simulation.engine import (
     MultiPolicySimulator,
     ParallelSweepRunner,
@@ -46,6 +47,7 @@ def run_policy(
     requests: Sequence[IORequest],
     capacity: int,
     policy_kwargs: Mapping[str, object] | None = None,
+    cost_model: CostModel | None = None,
 ) -> SimulationResult:
     """Instantiate *policy_name* with *capacity* and replay *requests* through it."""
     policy = PolicySpec(
@@ -54,7 +56,7 @@ def run_policy(
         capacity=capacity,
         kwargs=dict(policy_kwargs or {}),
     ).build()
-    return CacheSimulator(policy).run(requests)
+    return CacheSimulator(policy, cost_model=cost_model).run(requests)
 
 
 def _policy_specs(
@@ -78,12 +80,13 @@ def compare_policies(
     capacity: int,
     policies: Iterable[str],
     policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
+    cost_model: CostModel | None = None,
 ) -> dict[str, SimulationResult]:
     """Run each policy over the same request stream, sharing one trace pass."""
     policies = list(policies)
     specs = _policy_specs(policies, capacity, policy_kwargs or {})
     built = [spec.build() for spec in specs]
-    results = MultiPolicySimulator(built).run(requests)
+    results = MultiPolicySimulator(built, cost_model=cost_model).run(requests)
     return dict(zip(policies, results))
 
 
@@ -93,6 +96,7 @@ def sweep_cache_sizes(
     policies: Iterable[str],
     policy_kwargs: Mapping[str, Mapping[str, object]] | None = None,
     jobs: int | None = 1,
+    cost_model: CostModel | None = None,
 ) -> SweepResult:
     """Read hit ratio as a function of server cache size (Figures 6-8).
 
@@ -112,7 +116,7 @@ def sweep_cache_sizes(
         )
         for capacity in cache_sizes
     ]
-    runner = ParallelSweepRunner(requests, jobs=jobs)
+    runner = ParallelSweepRunner(requests, jobs=jobs, cost_model=cost_model)
     return runner.run(cells, parameter="cache_size")
 
 
@@ -123,6 +127,7 @@ def sweep_top_k(
     base_config: CLICConfig | None = None,
     label_for: Callable[[int | None], str] | None = None,
     jobs: int | None = 1,
+    cost_model: CostModel | None = None,
 ) -> SweepResult:
     """CLIC read hit ratio as a function of the number of tracked hint sets ``k``.
 
@@ -155,7 +160,7 @@ def sweep_top_k(
                 ),
             )
         )
-    runner = ParallelSweepRunner(requests, jobs=jobs)
+    runner = ParallelSweepRunner(requests, jobs=jobs, cost_model=cost_model)
     return runner.run(cells, parameter="k")
 
 
@@ -173,6 +178,7 @@ def sweep_policy_parameter(
     make_policy: Callable[[object, int], CachePolicy],
     label: str = "CLIC",
     jobs: int | None = 1,
+    cost_model: CostModel | None = None,
 ) -> SweepResult:
     """Generic single-policy parameter sweep (used by the ablation benches).
 
@@ -193,5 +199,5 @@ def sweep_policy_parameter(
                 ),
             )
         )
-    runner = ParallelSweepRunner(requests, jobs=jobs)
+    runner = ParallelSweepRunner(requests, jobs=jobs, cost_model=cost_model)
     return runner.run(cells, parameter=parameter)

@@ -227,3 +227,65 @@ class TestEndToEndBehaviour:
     def test_rejects_invalid_capacity(self):
         with pytest.raises(ValueError):
             CLICPolicy(capacity=0)
+
+
+class TestVictimSelectionProperty:
+    """The lazy-heap ``_peek_victim`` must agree with a naive reference scan.
+
+    The heap over hint-set lists is validated lazily (stale priorities and
+    head sequence numbers are popped and re-pushed on demand), which is only
+    correct if, at *every* point of a replay, its top matches the
+    straightforward O(n) rule: minimum priority over all cached pages,
+    oldest (smallest seq) page on ties.  The generated streams cross window
+    boundaries (window_size=7, priorities re-estimated and the heap rebuilt
+    many times per run) and re-request cached pages under different hint
+    sets, moving pages between hint-set lists.
+    """
+
+    @staticmethod
+    def naive_victim(policy: CLICPolicy):
+        """O(n) reference: (min priority, then oldest seq) over cached pages."""
+        best = None
+        for page, meta in policy._cached.items():
+            priority = policy.priority_manager.priority(meta.hint_key)
+            candidate = (priority, meta.seq, meta.hint_key)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        return best
+
+    def test_peek_victim_matches_naive_scan(self):
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        hints = [hint(object_id=name) for name in ("a", "b", "c")]
+
+        @st.composite
+        def streams(draw):
+            events = st.tuples(
+                st.integers(min_value=0, max_value=11),   # page
+                st.integers(min_value=0, max_value=2),    # hint set
+                st.booleans(),                            # is_read
+            )
+            return draw(st.lists(events, min_size=1, max_size=250))
+
+        @settings(
+            max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+        )
+        @given(stream=streams())
+        def run(stream):
+            policy = CLICPolicy(capacity=4, config=small_config(window_size=7))
+            for seq, (page, hint_index, is_read) in enumerate(stream):
+                request = (rd if is_read else wr)(page, hints[hint_index])
+                policy.access(request, seq)
+                victim = policy._peek_victim()
+                expected = self.naive_victim(policy)
+                if expected is None:
+                    assert victim is None
+                else:
+                    assert victim is not None
+                    # (priority, seq) identify the victim page uniquely:
+                    # sequence numbers are distinct across cached pages.
+                    assert (victim[0], victim[1]) == (expected[0], expected[1])
+                    assert victim[2] == expected[2]
+
+        run()

@@ -29,6 +29,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--shards", "0,2"])
 
+    def test_experiment_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["--experiment", "latency", "--experiment", "fig5"]
+        )
+        assert args.experiment_flags == ["latency", "fig5"]
+
+    def test_device_flag_accepts_known_profiles(self):
+        args = build_parser().parse_args(["latency", "--device", "hdd"])
+        assert args.device == "hdd"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--device", "floppy"])
+
+    def test_cost_model_flag_accepts_write_variants(self):
+        args = build_parser().parse_args(["latency", "--cost-model", "write-back"])
+        assert args.cost_model == "write-back"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--cost-model", "write-around"])
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -49,6 +67,29 @@ class TestMain:
         assert main(["fig2"]) == 0
         output = capsys.readouterr().out
         assert "pool_id" in output and "fix_count" in output
+
+    def test_experiment_flag_runs_latency_end_to_end(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "--experiment", "latency",
+                    "--device", "ssd",
+                    "--requests", "1500",
+                    "--seed", "3",
+                    "--csv-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "mean_read_latency_us" in output
+        assert "p99_read_latency_us" in output
+        # Sharded rows carry the queueing column; the table header must show
+        # it even though the first (unified) row lacks it.
+        assert "hottest_shard_penalty" in output
+        csv_text = (tmp_path / "latency.csv").read_text()
+        assert "mean_read_latency_us" in csv_text
+        assert "hottest_shard_penalty" in csv_text
 
     def test_runs_small_experiment_and_writes_csv(self, tmp_path, capsys):
         assert main(["fig5", "--requests", "1500", "--seed", "3", "--csv-dir", str(tmp_path)]) == 0

@@ -12,6 +12,7 @@ from repro.experiments.common import (
     generate_trace,
 )
 from repro.experiments.hint_priorities import run_hint_priority_scatter
+from repro.experiments.latency import run_latency_experiment
 from repro.experiments.multiclient import run_multiclient_experiment
 from repro.experiments.noise import run_noise_experiment
 from repro.experiments.policies import run_policy_comparison
@@ -213,6 +214,82 @@ class TestClusterExperiment:
             settings=settings,
         )
         assert [row["shards"] for row in rows] == [1, 3]
+
+
+class TestLatencyExperiment:
+    def test_rows_cover_devices_configurations_and_policies(self):
+        rows = run_latency_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU", "CLIC"),
+            settings=TINY,
+            devices=("ssd", "nvme"),
+            cluster_shards=2,
+        )
+        # 2 devices x 2 configurations x 2 policies.
+        assert len(rows) == 8
+        assert {row["device"] for row in rows} == {"ssd", "nvme"}
+        assert {row["configuration"] for row in rows} == {"unified", "2 shards"}
+        for row in rows:
+            assert row["mean_read_latency_us"] > 0.0
+            assert row["p99_read_latency_us"] >= row["p50_read_latency_us"]
+            assert row["modeled_throughput_rps"] > 0.0
+
+    def test_sharded_rows_carry_queueing_columns_unified_rows_do_not(self):
+        rows = run_latency_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU",),
+            settings=TINY,
+            devices=("ssd",),
+            cluster_shards=2,
+        )
+        by_configuration = {row["configuration"]: row for row in rows}
+        assert "hottest_shard_penalty" not in by_configuration["unified"]
+        assert by_configuration["2 shards"]["hottest_shard_penalty"] >= 1.0
+        assert by_configuration["2 shards"]["cluster_throughput_rps"] > 0.0
+
+    def test_faster_device_means_lower_latency_same_hit_ratio(self):
+        settings = ExperimentSettings(target_requests=4_000, seed=5)
+        rows = run_latency_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU",),
+            settings=settings,
+            devices=("hdd", "nvme"),
+        )
+        unified = [row for row in rows if row["configuration"] == "unified"]
+        by_device = {row["device"]: row for row in unified}
+        assert by_device["hdd"]["read_hit_ratio"] == by_device["nvme"]["read_hit_ratio"]
+        assert (
+            by_device["hdd"]["mean_read_latency_us"]
+            > by_device["nvme"]["mean_read_latency_us"]
+        )
+
+    def test_cluster_shards_one_collapses_to_unified_only(self):
+        rows = run_latency_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=300,
+            policies=("LRU",),
+            settings=TINY,
+            devices=("ssd",),
+            cluster_shards=1,
+        )
+        assert [row["configuration"] for row in rows] == ["unified"]
+
+    def test_cluster_shards_zero_rejected(self):
+        with pytest.raises(ValueError, match="cluster_shards"):
+            run_latency_experiment(settings=TINY, cluster_shards=0)
+
+    def test_device_defaults_from_settings(self):
+        settings = ExperimentSettings(target_requests=2_000, seed=5, device="nvme")
+        rows = run_latency_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=300,
+            policies=("LRU",),
+            settings=settings,
+        )
+        assert {row["device"] for row in rows} == {"nvme"}
 
 
 class TestAblations:

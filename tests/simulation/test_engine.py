@@ -229,3 +229,54 @@ class TestPolicySpec:
     def test_builds_from_registry(self):
         policy = PolicySpec(label="LRU", name="LRU", capacity=7).build()
         assert policy.capacity == 7
+
+
+class TestEnsureStreams:
+    """Pre-materialization dedup: equal lazy sources are ensured once."""
+
+    class CountingSpec:
+        """A hashable stand-in for TraceSpec: equal keys share one ensure()."""
+
+        calls: dict[str, int] = {}
+
+        def __init__(self, key: str):
+            self.key = key
+
+        def __eq__(self, other):
+            return isinstance(other, type(self)) and self.key == other.key
+
+        def __hash__(self):
+            return hash(self.key)
+
+        def iter_requests(self):  # pragma: no cover - never replayed here
+            return iter(())
+
+        def ensure(self):
+            type(self).calls[self.key] = type(self).calls.get(self.key, 0) + 1
+
+    def setup_method(self):
+        self.CountingSpec.calls = {}
+
+    def test_equal_specs_are_ensured_once(self):
+        from repro.simulation.engine import _ensure_streams
+
+        specs = [self.CountingSpec("a") for _ in range(5)]
+        specs += [self.CountingSpec("b"), None, None]
+        _ensure_streams(specs)
+        assert self.CountingSpec.calls == {"a": 1, "b": 1}
+
+    def test_unhashable_streams_dedup_by_identity(self):
+        from repro.simulation.engine import _ensure_streams
+
+        class UnhashableSpec(self.CountingSpec):
+            __hash__ = None
+
+        first, second = UnhashableSpec("u1"), UnhashableSpec("u2")
+        _ensure_streams([first, first, second])
+        assert self.CountingSpec.calls == {"u1": 1, "u2": 1}
+
+    def test_plain_request_lists_are_skipped(self):
+        from repro.simulation.engine import _ensure_streams
+
+        _ensure_streams([[], None])  # nothing with ensure(): no error, no calls
+        assert self.CountingSpec.calls == {}
