@@ -1,0 +1,208 @@
+"""Adaptivity experiment: how fast each policy recovers from a phase shift.
+
+CLIC re-learns hint-set priorities every statistics window (paper
+Sections 3-5), which is the mechanism that lets a storage-server cache track
+a *changing* client mix; the stationary standard traces never exercise it.
+This experiment replays a non-stationary phased schedule
+(:mod:`repro.workloads.phased`) through CLIC and the online baselines with
+rolling time-series accounting enabled, and reports:
+
+* the windowed read-hit-ratio series per policy (the adaptation curves), and
+* per phase boundary, each policy's **recovery time** — how many windows it
+  takes the windowed hit ratio to climb back to the pre-shift level
+  (``regain_windows``) and to reach the new phase's own steady state
+  (``settle_windows``).
+
+Rows come in two kinds, tagged by the ``row`` column: ``window`` rows are
+the time series (one per policy per window), ``recovery`` rows are the
+per-shift summaries.  Everything is deterministic and bit-identical at any
+``--jobs`` count; the rolling series is computed inside whichever worker
+replays the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    phased_trace_source,
+)
+from repro.simulation.engine import ParallelSweepRunner, PolicySpec, SweepCell
+from repro.simulation.metrics import RollingMetrics
+from repro.workloads.phased import PhasePlan, build_phase_plan
+from repro.workloads.standard import clic_window_for
+
+__all__ = [
+    "ADAPTIVITY_POLICIES",
+    "default_rolling_window",
+    "recovery_summary",
+    "run_adaptivity_experiment",
+]
+
+
+def default_rolling_window(total_requests: int) -> int:
+    """The default window for the adaptation series (and CLIC's statistics).
+
+    :func:`~repro.workloads.standard.clic_window_for` matches the paper's W
+    at full scale; the ``total // 8`` cap keeps scaled-down runs (tests,
+    golden fixtures) at roughly eight or more windows, so they still resolve
+    what happens around a phase boundary instead of averaging a whole phase
+    into one window.  The 125-request floor wins below ~1000 requests —
+    per-window statistics get too noisy to read before window *count*
+    becomes the problem.
+    """
+    return max(125, min(clic_window_for(total_requests), total_requests // 8))
+
+#: Policies compared across phase boundaries (the paper's online policies).
+ADAPTIVITY_POLICIES: tuple[str, ...] = ("CLIC", "ARC", "LRU", "TQ")
+
+#: A policy counts as recovered once its windowed hit ratio is within this
+#: absolute tolerance of the reference level.
+DEFAULT_TOLERANCE = 0.02
+
+
+def _windows_until(ratios: Sequence[float], level: float) -> int | None:
+    """1-based index of the first ratio reaching *level*, or ``None``."""
+    for index, ratio in enumerate(ratios):
+        if ratio >= level:
+            return index + 1
+    return None
+
+
+def recovery_summary(
+    rolling: RollingMetrics,
+    plan: PhasePlan,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[dict]:
+    """Per phase-boundary recovery statistics for one policy's rolling series.
+
+    For the boundary at request offset *b*:
+
+    * ``pre_shift_hit_ratio`` — the last window that ends at or before *b*;
+    * ``post_steady_hit_ratio`` — the mean of the final up-to-3 windows of
+      the new phase (its steady state);
+    * ``dip_hit_ratio`` — the worst window of the new phase (the cost of
+      the shift);
+    * ``regain_windows`` — windows after *b* until the series climbs back
+      within *tolerance* of the pre-shift level (``None`` = never, e.g.
+      when the new workload is inherently less cacheable);
+    * ``settle_windows`` — windows after *b* until the series is within
+      *tolerance* of the new phase's own steady state (adaptation time).
+
+    Rolling windows are aligned to absolute sequence numbers, not to the
+    plan, so a window may straddle a phase boundary and mix traffic from
+    both sides.  Such windows are excluded from both phases — symmetric at
+    either end of the phase — so ``pre``/``post`` statistics are computed
+    from unpolluted windows only and recovery counts run over the new
+    phase's *full* windows.  A phase shorter than one window therefore
+    produces no recovery row.
+    """
+    windows = rolling.windows
+    offsets = plan.phase_offsets()
+    boundaries = plan.shift_offsets()
+    rows: list[dict] = []
+    for shift_index, boundary in enumerate(boundaries):
+        old_phase = plan.phases[shift_index]
+        new_phase = plan.phases[shift_index + 1]
+        phase_end = (
+            offsets[shift_index + 2]
+            if shift_index + 2 < len(offsets)
+            else plan.total_requests
+        )
+        pre = [w for w in windows if w.start + w.requests <= boundary]
+        post = [
+            w
+            for w in windows
+            if w.start >= boundary and w.start + w.requests <= phase_end
+        ]
+        if not pre or not post:
+            continue
+        pre_ratio = pre[-1].read_hit_ratio
+        post_ratios = [w.read_hit_ratio for w in post]
+        steady = sum(post_ratios[-3:]) / len(post_ratios[-3:])
+        rows.append(
+            {
+                "row": "recovery",
+                "shift": f"{old_phase.name}->{new_phase.name}",
+                "shift_at": boundary,
+                "pre_shift_hit_ratio": pre_ratio,
+                "dip_hit_ratio": min(post_ratios),
+                "post_steady_hit_ratio": steady,
+                "regain_windows": _windows_until(post_ratios, pre_ratio - tolerance),
+                "settle_windows": _windows_until(post_ratios, steady - tolerance),
+            }
+        )
+    return rows
+
+
+def run_adaptivity_experiment(
+    plan: PhasePlan | str | None = None,
+    cache_size: int = 2_400,
+    policies: Sequence[str] = ADAPTIVITY_POLICIES,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    rolling_window: int | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[dict]:
+    """Replay a phased schedule and report adaptation curves + recovery times.
+
+    ``plan`` may be a :class:`~repro.workloads.phased.PhasePlan`, the name
+    of a registered plan, or ``None`` (the settings' ``phase_plan``, scaled
+    to ``settings.target_requests``).  CLIC's statistics window and the
+    rolling metrics window are the same size by default, so "recovery in N
+    windows" reads directly against the paper's window mechanism.
+    """
+    if plan is None:
+        plan = settings.build_phase_plan()
+    elif isinstance(plan, str):
+        plan = build_phase_plan(
+            plan, total_requests=settings.target_requests, seed=settings.seed
+        )
+    window = (
+        default_rolling_window(plan.total_requests)
+        if rolling_window is None
+        else int(rolling_window)
+    )
+
+    policies = list(policies)
+    specs = []
+    for name in policies:
+        kwargs: dict[str, object] = {}
+        if name.upper() == "CLIC":
+            kwargs = {"config": settings.clic_config(window_size=window)}
+        specs.append(
+            PolicySpec(label=name, name=name, capacity=cache_size, kwargs=kwargs)
+        )
+    # One cell per policy: all cells share the phased stream, so at jobs=1
+    # they fold into a single replay pass, while jobs>1 splits the policies
+    # across workers — identical results either way.
+    cells = [
+        SweepCell(x=float(index), specs=(spec,)) for index, spec in enumerate(specs)
+    ]
+    runner = ParallelSweepRunner(
+        phased_trace_source(plan), jobs=settings.jobs, rolling_window=window
+    )
+    sweep = runner.run(cells, parameter="policy_index")
+
+    rows: list[dict] = []
+    for name in policies:
+        result = sweep.series[name][0].result
+        rolling = result.rolling
+        for entry in rolling.windows:
+            rows.append(
+                {
+                    "row": "window",
+                    "policy": name,
+                    "window": rolling.window_index(entry),
+                    "start": entry.start,
+                    "phase": plan.phase_at(entry.start).name,
+                    "read_hit_ratio": entry.read_hit_ratio,
+                    "evictions": entry.evictions,
+                }
+            )
+    for name in policies:
+        result = sweep.series[name][0].result
+        for summary in recovery_summary(result.rolling, plan, tolerance=tolerance):
+            rows.append({"row": summary.pop("row"), "policy": name, **summary})
+    return rows

@@ -30,6 +30,7 @@ from repro.trace.cache import (
     default_trace_cache,
     set_default_trace_cache,
 )
+from repro.workloads.phased import PHASE_PLANS
 
 __all__ = ["main", "build_parser", "render_result"]
 
@@ -86,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S1,S2,...",
         help="comma-separated shard counts for the cluster experiment "
         "(default: 1,2,4,8; shard count 1 is the unified-cache baseline)",
+    )
+    parser.add_argument(
+        "--phase-plan",
+        choices=sorted(PHASE_PLANS),
+        default=None,
+        dest="phase_plan",
+        help="phase schedule replayed by the adaptivity experiment "
+        "(default: churn; see repro.workloads.phased)",
     )
     parser.add_argument(
         "--device",
@@ -178,6 +187,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         settings_kwargs["device"] = args.device
     if args.cost_model is not None:
         settings_kwargs["write_policy"] = args.cost_model
+    if args.phase_plan is not None:
+        settings_kwargs["phase_plan"] = args.phase_plan
     settings = ExperimentSettings(**settings_kwargs)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

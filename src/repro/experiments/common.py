@@ -9,6 +9,7 @@ given trace length) so the figure modules stay small and consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cache.registry import PAPER_POLICIES
 from repro.core.config import CLICConfig
@@ -18,10 +19,14 @@ from repro.trace.cache import TraceSpec, default_trace_cache
 from repro.trace.records import Trace
 from repro.workloads.standard import clic_window_for, standard_trace
 
+if TYPE_CHECKING:  # imported for type annotations only (lazy at runtime)
+    from repro.workloads.phased import PhasePlan
+
 __all__ = [
     "ExperimentSettings",
     "clic_kwargs",
     "generate_trace",
+    "phased_trace_source",
     "trace_spec",
     "trace_source",
     "DEFAULT_SETTINGS",
@@ -60,6 +65,20 @@ class ExperimentSettings:
     #: device write on the critical path; ``write-back`` absorbs writes at
     #: cache speed).
     write_policy: str = "write-through"
+    #: Named phase schedule replayed by the adaptivity experiment
+    #: (see :data:`repro.workloads.phased.PHASE_PLANS`).  Churn is the
+    #: default because both its phases are cacheable at reproduction scale,
+    #: so recovery times are meaningful; the TPC-C -> TPC-H switch plan's
+    #: second phase is scan-dominated and bottoms out near zero.
+    phase_plan: str = "churn"
+
+    def build_phase_plan(self) -> "PhasePlan":
+        """The phase schedule these settings describe, scaled to the trace length."""
+        from repro.workloads.phased import build_phase_plan
+
+        return build_phase_plan(
+            self.phase_plan, total_requests=self.target_requests, seed=self.seed
+        )
 
     def clic_config(self, top_k=_UNSET, window_size=_UNSET) -> CLICConfig:
         """CLIC configuration matching the paper's settings, scaled to the trace length.
@@ -137,6 +156,23 @@ def trace_source(
         spec.ensure()
         return spec
     return generate_trace(name, settings, client_id).requests()
+
+
+def phased_trace_source(plan: "PhasePlan") -> RequestSource:
+    """The preferred request source for replays of a phased schedule.
+
+    Mirrors :func:`trace_source`: a lazy, picklable
+    :class:`~repro.trace.cache.TraceSpec` through the on-disk cache when it
+    is enabled (the cache key hashes the whole plan), otherwise the
+    materialized request list.
+    """
+    from repro.workloads.phased import phased_trace
+
+    if default_trace_cache().enabled:
+        spec = TraceSpec.for_plan(plan)
+        spec.ensure()
+        return spec
+    return phased_trace(plan).requests()
 
 
 def generate_trace(

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, cluster, hint_priorities, latency, multiclient
-from repro.experiments import noise, policies, schemas_table, topk, traces_table
+from repro.experiments import ablations, adaptivity, cluster, hint_priorities, latency
+from repro.experiments import multiclient, noise, policies, schemas_table, topk
+from repro.experiments import traces_table
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -81,6 +82,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         "Figure 11",
         "Three DB2 clients sharing one CLIC cache vs. equal static partitioning.",
         multiclient.run_multiclient_experiment,
+    ),
+    "adaptivity": Experiment(
+        "adaptivity",
+        "extension",
+        "Non-stationary phased workload: windowed hit-ratio series + recovery times.",
+        adaptivity.run_adaptivity_experiment,
     ),
     "cluster": Experiment(
         "cluster",

@@ -22,7 +22,14 @@ from repro.simulation.engine import (
     RequestSource,
     SweepCell,
 )
-from repro.simulation.metrics import SimulationResult, SweepPoint, SweepResult, format_table
+from repro.simulation.metrics import (
+    RollingMetrics,
+    RollingWindow,
+    SimulationResult,
+    SweepPoint,
+    SweepResult,
+    format_table,
+)
 from repro.simulation.multiclient import (
     interleave_round_robin,
     partition_capacity,
@@ -55,6 +62,8 @@ __all__ = [
     "PolicySpec",
     "RequestSource",
     "SweepCell",
+    "RollingMetrics",
+    "RollingWindow",
     "SimulationResult",
     "SweepPoint",
     "SweepResult",

@@ -51,7 +51,13 @@ from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
 from repro.simulation.costmodel import CostModel
-from repro.simulation.metrics import SimulationResult, SweepResult, per_shard_stats
+from repro.simulation.metrics import (
+    RollingTracker,
+    SimulationResult,
+    SweepResult,
+    per_shard_stats,
+    validate_rolling_window,
+)
 from repro.simulation.request import IORequest, RequestKind
 
 __all__ = [
@@ -110,6 +116,30 @@ def _iter_request_chunks(source: RequestSource, chunk_size: int) -> Iterator[lis
         yield chunk
 
 
+def _split_chunks_at_windows(
+    chunks: Iterator[list[IORequest]], window: int, start_seq: int
+) -> Iterator[list[IORequest]]:
+    """Re-chunk a stream so no chunk crosses a window boundary.
+
+    Replay results never depend on chunk boundaries, so splitting is free of
+    observable effect on hit/miss outcomes; it only guarantees that the
+    replay loop sees every ``seq % window == 0`` crossing between chunks,
+    where rolling snapshots are taken.
+    """
+    seq = start_seq
+    for chunk in chunks:
+        offset, length = 0, len(chunk)
+        while offset < length:
+            room = window - (seq % window)
+            take = min(room, length - offset)
+            if offset == 0 and take == length:
+                yield chunk
+            else:
+                yield chunk[offset : offset + take]
+            seq += take
+            offset += take
+
+
 class MultiPolicySimulator:
     """Drives N independent cache policies with a single pass over a stream.
 
@@ -134,10 +164,15 @@ class MultiPolicySimulator:
         policies: Sequence[CachePolicy],
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
+        rolling_window: int | None = None,
     ):
         self._policies = list(policies)
         self._track_per_client = track_per_client
         self._cost_model = cost_model
+        #: Opt-in windowed time series (:class:`RollingMetrics`): chunks are
+        #: split at window boundaries and each policy's stats are
+        #: snapshotted there, so the replay loop itself stays unchanged.
+        self._rolling_window = validate_rolling_window(rolling_window)
 
     @property
     def policies(self) -> list[CachePolicy]:
@@ -187,6 +222,12 @@ class MultiPolicySimulator:
             if cost_model
             else None
         )
+        rolling = self._rolling_window
+        trackers = (
+            [RollingTracker(rolling, policy, start_seq) for policy in policies]
+            if rolling
+            else None
+        )
         # Stats snapshot, so per-client numbers for the single-client fast
         # path below count only what this run contributed.
         before = [
@@ -224,7 +265,10 @@ class MultiPolicySimulator:
                 [p.stats.write_hits - b[3] for p, b in zip(policies, before)],
             ]
 
-        for chunk in _iter_request_chunks(source, chunk_size):
+        chunks = _iter_request_chunks(source, chunk_size)
+        if rolling:
+            chunks = _split_chunks_at_windows(chunks, rolling, start_seq)
+        for chunk in chunks:
             if track and not multi_client:
                 chunk_clients = {request.client_id for request in chunk}
                 if sole_client is None and len(chunk_clients) == 1:
@@ -285,7 +329,15 @@ class MultiPolicySimulator:
                         charge(request, access(request, seq))
                         seq += 1
             seq_base += len(chunk)
+            if trackers is not None and seq_base % rolling == 0:
+                for tracker in trackers:
+                    tracker.boundary(seq_base)
 
+        if trackers is not None:
+            # Close the final (possibly partial) window; a no-op when the
+            # stream ended exactly on a boundary.
+            for tracker in trackers:
+                tracker.boundary(seq_base)
         if track and not multi_client and sole_client is not None:
             per_client[sole_client] = snapshot_counts()
         elapsed = time.perf_counter() - started
@@ -323,6 +375,7 @@ class MultiPolicySimulator:
                     per_shard=per_shard,
                     latency=latency,
                     shard_latency=shard_latency,
+                    rolling=trackers[j].finalize() if trackers is not None else None,
                 )
             )
         return results
@@ -442,6 +495,7 @@ def _run_cells(
     default_requests: RequestSource | None,
     track_per_client: bool,
     cost_model: CostModel | None = None,
+    rolling_window: int | None = None,
 ) -> list[list[SimulationResult]]:
     """Run *cells*, folding same-stream cells into one shared replay pass.
 
@@ -470,7 +524,10 @@ def _run_cells(
             spec.build() for index in cell_indices for spec in cells[index].specs
         ]
         results = MultiPolicySimulator(
-            policies, track_per_client=track_per_client, cost_model=cost_model
+            policies,
+            track_per_client=track_per_client,
+            cost_model=cost_model,
+            rolling_window=rolling_window,
         ).run(streams[stream_id])
         offset = 0
         for index in cell_indices:
@@ -513,9 +570,12 @@ def _run_cell_batch(
     cells: Sequence[SweepCell],
     track_per_client: bool,
     cost_model: CostModel | None = None,
+    rolling_window: int | None = None,
 ) -> list[list[SimulationResult]]:
     """Worker entry point: run one batch of cells against the worker stream."""
-    return _run_cells(cells, _WORKER_REQUESTS, track_per_client, cost_model)
+    return _run_cells(
+        cells, _WORKER_REQUESTS, track_per_client, cost_model, rolling_window
+    )
 
 
 class ParallelSweepRunner:
@@ -533,6 +593,7 @@ class ParallelSweepRunner:
         jobs: int | None = 1,
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
+        rolling_window: int | None = None,
     ):
         self._requests = requests
         self._jobs = 1 if jobs is None else int(jobs)
@@ -542,6 +603,11 @@ class ParallelSweepRunner:
         #: picklable objects, so they ship to worker processes with the
         #: cells; ``jobs=1`` and ``jobs=N`` produce identical latency stats.
         self._cost_model = cost_model
+        #: Optional windowed time series on every result (an int, so it
+        #: ships to workers like the cost model; each cell's policy replays
+        #: its stream whole inside one worker, so the series are complete
+        #: and identical at any job count).
+        self._rolling_window = validate_rolling_window(rolling_window)
 
     def run(self, cells: Iterable[SweepCell], parameter: str) -> SweepResult:
         cells = list(cells)
@@ -581,7 +647,13 @@ class ParallelSweepRunner:
 
     # ----------------------------------------------------------- execution
     def _run_serial(self, cells: Sequence[SweepCell]) -> list[list[SimulationResult]]:
-        return _run_cells(cells, self._requests, self._track_per_client, self._cost_model)
+        return _run_cells(
+            cells,
+            self._requests,
+            self._track_per_client,
+            self._cost_model,
+            self._rolling_window,
+        )
 
     def _run_parallel(
         self, cells: Sequence[SweepCell], jobs: int
@@ -603,7 +675,11 @@ class ParallelSweepRunner:
         ) as executor:
             futures = [
                 executor.submit(
-                    _run_cell_batch, batch, self._track_per_client, self._cost_model
+                    _run_cell_batch,
+                    batch,
+                    self._track_per_client,
+                    self._cost_model,
+                    self._rolling_window,
                 )
                 for batch in batches
             ]

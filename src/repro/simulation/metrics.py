@@ -9,12 +9,151 @@ from repro.cache.base import CacheStats
 from repro.simulation.costmodel import LatencyStats
 
 __all__ = [
+    "RollingWindow",
+    "RollingMetrics",
+    "RollingTracker",
     "SimulationResult",
     "SweepPoint",
     "SweepResult",
     "format_table",
     "per_shard_stats",
+    "validate_rolling_window",
 ]
+
+
+def validate_rolling_window(rolling_window: int | None) -> int | None:
+    """Validate an opt-in rolling window size (``None`` = rolling off)."""
+    if rolling_window is None:
+        return None
+    window = int(rolling_window)
+    if window < 1:
+        raise ValueError(f"rolling_window must be >= 1, got {rolling_window}")
+    return window
+
+
+@dataclass(frozen=True)
+class RollingWindow:
+    """Hit/miss/eviction deltas over one window of the request sequence.
+
+    Windows are aligned to absolute sequence numbers: window *i* covers
+    sequence numbers ``[i*W, (i+1)*W)``.  A window at the start or end of a
+    replayed segment may be partial (``requests < W``); :meth:`RollingMetrics
+    .merge` re-joins such halves when adjacent segments are combined.
+    """
+
+    start: int
+    requests: int
+    read_requests: int
+    read_hits: int
+    write_requests: int
+    write_hits: int
+    evictions: int
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Read hits / read requests within this window (0.0 if no reads)."""
+        if self.read_requests == 0:
+            return 0.0
+        return self.read_hits / self.read_requests
+
+    def combine(self, other: "RollingWindow") -> "RollingWindow":
+        """Join two halves of the same window (other must directly follow)."""
+        if other.start != self.start + self.requests:
+            raise ValueError(
+                f"cannot combine windows: {other.start} does not continue "
+                f"[{self.start}, {self.start + self.requests})"
+            )
+        return RollingWindow(
+            start=self.start,
+            requests=self.requests + other.requests,
+            read_requests=self.read_requests + other.read_requests,
+            read_hits=self.read_hits + other.read_hits,
+            write_requests=self.write_requests + other.write_requests,
+            write_hits=self.write_hits + other.write_hits,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "requests": self.requests,
+            "read_requests": self.read_requests,
+            "read_hits": self.read_hits,
+            "read_hit_ratio": self.read_hit_ratio,
+            "write_requests": self.write_requests,
+            "write_hits": self.write_hits,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class RollingMetrics:
+    """Windowed time series of one policy's behaviour over one replay.
+
+    The opt-in rolling view of a run (``rolling_window=`` on the engine,
+    the single-policy simulator and the sweep runner): one
+    :class:`RollingWindow` per ``window``-sized slice of the sequence-number
+    space, in order.  Because windows are functions of absolute sequence
+    numbers only, the series is bit-identical at any chunking and any
+    ``jobs=`` count; :meth:`merge` combines the series of adjacent replay
+    segments (the mergeability contract used by chunked replays).
+    """
+
+    window: int
+    windows: tuple[RollingWindow, ...] = ()
+
+    def window_index(self, entry: RollingWindow) -> int:
+        """The global index of *entry* in the sequence-number space."""
+        return entry.start // self.window
+
+    # ---------------------------------------------------------------- series
+    def starts(self) -> list[int]:
+        return [entry.start for entry in self.windows]
+
+    def read_hit_ratios(self) -> list[float]:
+        """The windowed read-hit-ratio time series, in window order."""
+        return [entry.read_hit_ratio for entry in self.windows]
+
+    def eviction_series(self) -> list[int]:
+        """Evictions per window, in window order."""
+        return [entry.evictions for entry in self.windows]
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, other: "RollingMetrics") -> "RollingMetrics":
+        """Concatenate the series of two adjacent replay segments.
+
+        If *other*'s first window continues the same global window as
+        *self*'s last (a window split across a segment boundary), the halves
+        are combined into one window; otherwise the series are concatenated
+        as-is.  Merging is associative over consecutive segments, so a
+        chunked replay may fold its partial series in any grouping and
+        arrive at the same final series.
+        """
+        if other.window != self.window:
+            raise ValueError(
+                f"cannot merge rolling metrics with different windows "
+                f"({self.window} vs {other.window})"
+            )
+        if not self.windows:
+            return other
+        if not other.windows:
+            return self
+        last, first = self.windows[-1], other.windows[0]
+        if (
+            first.start == last.start + last.requests
+            and first.start // self.window == last.start // self.window
+        ):
+            joined = self.windows[:-1] + (last.combine(first),) + other.windows[1:]
+        else:
+            joined = self.windows + other.windows
+        return RollingMetrics(window=self.window, windows=joined)
+
+    def as_rows(self) -> list[dict]:
+        """One row per window (for CSV output or tabular printing)."""
+        return [
+            {"window": self.window_index(entry), **entry.as_dict()}
+            for entry in self.windows
+        ]
 
 
 def per_shard_stats(policy) -> tuple[CacheStats, ...]:
@@ -27,6 +166,61 @@ def per_shard_stats(policy) -> tuple[CacheStats, ...]:
     """
     shard_stats = getattr(policy, "shard_stats", None)
     return shard_stats() if callable(shard_stats) else ()
+
+
+class RollingTracker:
+    """Builds one policy's :class:`RollingMetrics` from stats snapshots.
+
+    The replay loops (the engine and the single-policy simulator) call
+    :meth:`boundary` whenever they cross a window boundary (and once at
+    end-of-stream); the tracker diffs the policy's cumulative counters
+    against the previous snapshot, so it works for any policy without
+    touching the per-request hot path.
+    """
+
+    __slots__ = ("_window", "_policy", "_prev", "_start", "_windows")
+
+    def __init__(self, window: int, policy, start_seq: int):
+        self._window = window
+        self._policy = policy
+        self._prev = self._snapshot()
+        self._start = start_seq
+        self._windows: list[RollingWindow] = []
+
+    def _snapshot(self) -> tuple[int, int, int, int, int]:
+        stats = self._policy.stats
+        return (
+            stats.read_requests,
+            stats.read_hits,
+            stats.write_requests,
+            stats.write_hits,
+            stats.evictions,
+        )
+
+    def boundary(self, seq: int) -> None:
+        """Close the window ending at sequence number *seq* (exclusive)."""
+        if seq == self._start:
+            return
+        current = self._snapshot()
+        previous = self._prev
+        reads = current[0] - previous[0]
+        writes = current[2] - previous[2]
+        self._windows.append(
+            RollingWindow(
+                start=self._start,
+                requests=reads + writes,
+                read_requests=reads,
+                read_hits=current[1] - previous[1],
+                write_requests=writes,
+                write_hits=current[3] - previous[3],
+                evictions=current[4] - previous[4],
+            )
+        )
+        self._prev = current
+        self._start = seq
+
+    def finalize(self) -> RollingMetrics:
+        return RollingMetrics(window=self._window, windows=tuple(self._windows))
 
 
 @dataclass
@@ -44,6 +238,10 @@ class SimulationResult:
     this run's requests.  ``None`` for un-priced runs.  ``shard_latency``
     is the per-shard analytic breakdown (each shard modeled as its own
     device) when the run was priced *and* the policy is a sharded cluster.
+
+    ``rolling`` is filled when the replay opted into windowed time-series
+    accounting (``rolling_window=``): the per-window hit-ratio/eviction
+    series (:class:`RollingMetrics`), bit-identical at any ``--jobs``.
     """
 
     policy_name: str
@@ -54,6 +252,7 @@ class SimulationResult:
     per_shard: tuple[CacheStats, ...] = ()
     latency: LatencyStats | None = None
     shard_latency: tuple[LatencyStats, ...] = ()
+    rolling: RollingMetrics | None = None
 
     @property
     def read_hit_ratio(self) -> float:

@@ -16,7 +16,12 @@ from typing import Iterable, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
 from repro.simulation.costmodel import CostModel
-from repro.simulation.metrics import SimulationResult, per_shard_stats
+from repro.simulation.metrics import (
+    RollingTracker,
+    SimulationResult,
+    per_shard_stats,
+    validate_rolling_window,
+)
 from repro.simulation.request import IORequest
 
 __all__ = ["CacheSimulator", "simulate"]
@@ -29,6 +34,11 @@ class CacheSimulator:
     (:mod:`repro.simulation.costmodel`): the result's ``latency`` (and, for
     sharded clusters, ``shard_latency``) fields are filled, identically to
     the shared-replay engine's accounting pass.
+
+    ``rolling_window`` opts the run into windowed time-series accounting:
+    the result's ``rolling`` field carries the per-window hit-ratio and
+    eviction series (:class:`~repro.simulation.metrics.RollingMetrics`),
+    identical to the engine's for the same stream and window.
     """
 
     def __init__(
@@ -36,10 +46,12 @@ class CacheSimulator:
         policy: CachePolicy,
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
+        rolling_window: int | None = None,
     ):
         self._policy = policy
         self._track_per_client = track_per_client
         self._cost_model = cost_model
+        self._rolling_window = validate_rolling_window(rolling_window)
 
     @property
     def policy(self) -> CachePolicy:
@@ -64,9 +76,15 @@ class CacheSimulator:
         accumulator = (
             self._cost_model.accumulator_for(policy) if self._cost_model else None
         )
+        rolling = self._rolling_window
+        tracker = (
+            RollingTracker(rolling, policy, start_seq) if rolling is not None else None
+        )
         started = time.perf_counter()
         seq = start_seq
         for request in requests:
+            if tracker is not None and seq % rolling == 0:
+                tracker.boundary(seq)
             hit = policy.access(request, seq)
             if self._track_per_client:
                 client_stats = per_client.get(request.client_id)
@@ -77,6 +95,8 @@ class CacheSimulator:
             if accumulator is not None:
                 accumulator.charge(request, hit)
             seq += 1
+        if tracker is not None:
+            tracker.boundary(seq)
         elapsed = time.perf_counter() - started
 
         per_shard = per_shard_stats(policy)
@@ -97,6 +117,7 @@ class CacheSimulator:
             per_shard=per_shard,
             latency=latency,
             shard_latency=shard_latency,
+            rolling=tracker.finalize() if tracker is not None else None,
         )
 
 
@@ -105,8 +126,12 @@ def simulate(
     requests: Iterable[IORequest],
     track_per_client: bool = True,
     cost_model: CostModel | None = None,
+    rolling_window: int | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: ``CacheSimulator(policy).run(requests)``."""
     return CacheSimulator(
-        policy, track_per_client=track_per_client, cost_model=cost_model
+        policy,
+        track_per_client=track_per_client,
+        cost_model=cost_model,
+        rolling_window=rolling_window,
     ).run(requests)

@@ -31,9 +31,12 @@ import tempfile
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.simulation.request import IORequest
+
+if TYPE_CHECKING:  # imported for type annotations only (lazy at runtime)
+    from repro.workloads.phased import PhasePlan
 from repro.trace.binio import BinaryTraceWriter, StreamedTrace
 from repro.trace.records import Trace
 
@@ -62,12 +65,29 @@ class TraceSpec:
     Workers in a parallel sweep receive the spec (a few dozen bytes) and
     resolve it against the on-disk cache themselves; the parent process calls
     :meth:`ensure` once before fanning out so workers never race to generate.
+
+    ``plan`` switches the spec from a standard trace to a *phased* trace
+    (:mod:`repro.workloads.phased`): the whole phase schedule — every
+    tenant's trace name, seed and request share — is hashed into the cache
+    key, and ``name``/``seed``/``target_requests`` become informational
+    (they mirror the plan).  Build phased specs with :meth:`for_plan`.
     """
 
     name: str
     seed: int = 17
     target_requests: int = 60_000
     client_id: str | None = None
+    plan: "PhasePlan | None" = None
+
+    @classmethod
+    def for_plan(cls, plan: "PhasePlan") -> "TraceSpec":
+        """The lazy cache handle for one phased trace schedule."""
+        return cls(
+            name=plan.name,
+            seed=0,
+            target_requests=plan.total_requests,
+            plan=plan,
+        )
 
     # ----------------------------------------------------- request source API
     def iter_requests(self) -> Iterator[IORequest]:
@@ -203,21 +223,37 @@ class TraceCache:
         from repro.trace.binio import FORMAT_VERSION
         from repro.workloads.standard import STANDARD_TRACES
 
-        config = STANDARD_TRACES.get(spec.name)
-        fingerprint = repr(
-            (
-                CACHE_KEY_VERSION,
-                FORMAT_VERSION,
-                spec.name,
-                spec.seed,
-                spec.target_requests,
-                spec.client_id,
-                config,  # dataclass repr covers every generation knob
+        if spec.plan is not None:
+            # Phased traces: the plan repr names every phase, tenant and
+            # request share; the referenced standard-trace configs cover the
+            # per-tenant generation knobs.
+            configs = tuple(
+                STANDARD_TRACES.get(client.trace)
+                for client in spec.plan.distinct_clients()
             )
-        )
+            fingerprint = repr(
+                (CACHE_KEY_VERSION, FORMAT_VERSION, "phased", spec.plan, configs)
+            )
+        else:
+            config = STANDARD_TRACES.get(spec.name)
+            fingerprint = repr(
+                (
+                    CACHE_KEY_VERSION,
+                    FORMAT_VERSION,
+                    spec.name,
+                    spec.seed,
+                    spec.target_requests,
+                    spec.client_id,
+                    config,  # dataclass repr covers every generation knob
+                )
+            )
         return sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
 
     def _generator(self, spec: TraceSpec):
+        if spec.plan is not None:
+            from repro.workloads.phased import PhasedTraceStream
+
+            return PhasedTraceStream(spec.plan)
         from repro.workloads.standard import StandardTraceStream
 
         return StandardTraceStream(
@@ -228,6 +264,10 @@ class TraceCache:
         )
 
     def _generate_in_memory(self, spec: TraceSpec) -> Trace:
+        if spec.plan is not None:
+            from repro.workloads.phased import phased_trace
+
+            return phased_trace(spec.plan)
         from repro.workloads.standard import standard_trace
 
         return standard_trace(

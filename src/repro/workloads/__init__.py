@@ -27,6 +27,15 @@ from repro.workloads.standard import (
     server_cache_sizes,
     standard_trace,
 )
+from repro.workloads.phased import (
+    PHASE_PLANS,
+    Phase,
+    PhaseClient,
+    PhasedTraceStream,
+    PhasePlan,
+    build_phase_plan,
+    phased_trace,
+)
 from repro.workloads.tpcc import TPCC_TRANSACTION_MIX, TPCCWorkload
 from repro.workloads.tpch import TPCH_QUERY_TEMPLATES, TPCHWorkload
 
@@ -49,6 +58,13 @@ __all__ = [
     "TPCC_TRANSACTION_MIX",
     "TPCHWorkload",
     "TPCH_QUERY_TEMPLATES",
+    "Phase",
+    "PhaseClient",
+    "PhasePlan",
+    "PhasedTraceStream",
+    "PHASE_PLANS",
+    "build_phase_plan",
+    "phased_trace",
     "StandardTraceConfig",
     "STANDARD_TRACES",
     "SCALE_FACTOR",

@@ -1,0 +1,376 @@
+"""Non-stationary phased workloads: deterministic schedules of client change.
+
+CLIC re-estimates hint-set priorities every statistics window (paper
+Sections 3-5) precisely so the storage-server cache *adapts* when the client
+mix changes — yet every standard trace (:mod:`repro.workloads.standard`) is
+stationary: one client, one workload, end to end.  This module composes the
+standard trace generators into deterministic multi-phase schedules that
+exercise the adaptation machinery:
+
+* **workload switches** — the request mix changes wholesale at a phase
+  boundary (e.g. a TPC-C client hands the server over to a TPC-H client);
+* **tenant arrival / departure** — a client joins the server mid-run and
+  leaves again, shifting how much locality each tenant's share carries;
+* **client churn** — a client is replaced by a *re-seeded* instance of the
+  same configuration (a restarted database server: same workload shape,
+  cold first tier, new hint-set identity).
+
+A schedule is a :class:`PhasePlan` — an immutable, picklable, hashable value
+object — and :class:`PhasedTraceStream` turns it into a request stream with
+the same single-use streaming contract as
+:class:`~repro.workloads.standard.StandardTraceStream`: requests flow one at
+a time into the binary trace writer (:mod:`repro.trace.binio`), and the
+on-disk trace cache (:mod:`repro.trace.cache`) keys cached phased traces by
+a hash of the full plan.
+
+Determinism guarantees:
+
+* clients draw from their generators round-robin within each phase, so the
+  interleaving is a pure function of the plan;
+* a client that spans several phases *continues* its stream (its first-tier
+  buffer stays warm across boundaries — only the mix around it changes);
+* each distinct client is remapped into its own disjoint page-id range (in
+  first-appearance order over the plan), so tenants never alias pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.simulation.request import IORequest
+from repro.trace.records import Trace
+from repro.workloads.standard import STANDARD_TRACES, StandardTraceStream
+
+__all__ = [
+    "PhaseClient",
+    "Phase",
+    "PhasePlan",
+    "PhasedTraceStream",
+    "phased_trace",
+    "PHASE_PLANS",
+    "build_phase_plan",
+    "default_page_stride",
+]
+
+#: Multiple of the largest referenced database size used to separate the
+#: page-id ranges of distinct clients.  TPC-C databases grow during the run,
+#: so the stride leaves generous headroom; the stream still *checks* every
+#: page against the stride and fails loudly rather than aliasing silently.
+_STRIDE_FACTOR = 16
+
+
+@dataclass(frozen=True)
+class PhaseClient:
+    """One tenant inside a phase: a standard-trace generator identity.
+
+    Two phase clients with the same ``(trace, seed, client id)`` are the
+    *same* tenant: the plan's stream keeps one generator for them across all
+    the phases they appear in.  Changing the seed (churn) or the client id
+    makes a distinct tenant with its own first tier, hint-set identity and
+    page range.
+    """
+
+    trace: str
+    seed: int = 17
+    client_id: str | None = None
+
+    def key(self) -> tuple[str, int, str]:
+        """The identity under which the plan tracks this tenant."""
+        return (self.trace, self.seed, self.resolved_client_id())
+
+    def resolved_client_id(self) -> str:
+        """The storage-client id this tenant presents to the server."""
+        return self.client_id or f"{self.trace}@s{self.seed}"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contiguous slice of the schedule with a fixed client mix."""
+
+    name: str
+    requests: int
+    clients: tuple[PhaseClient, ...]
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"phase {self.name!r}: requests must be >= 1")
+        if not self.clients:
+            raise ValueError(f"phase {self.name!r}: needs at least one client")
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """A deterministic schedule of phases (the phased-trace cache key).
+
+    The plan is a frozen value object: equal plans hash equally, pickle
+    compactly, and ``repr`` covers every generation knob — which is exactly
+    what the trace cache fingerprints
+    (:meth:`repro.trace.cache.TraceCache.path_for`).
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a phase plan needs at least one phase")
+        unknown = {
+            client.trace
+            for phase in self.phases
+            for client in phase.clients
+            if client.trace not in STANDARD_TRACES
+        }
+        if unknown:
+            raise KeyError(
+                f"phase plan {self.name!r} references unknown standard traces "
+                f"{sorted(unknown)}; available: {sorted(STANDARD_TRACES)}"
+            )
+
+    @property
+    def total_requests(self) -> int:
+        return sum(phase.requests for phase in self.phases)
+
+    def phase_offsets(self) -> list[int]:
+        """Absolute request offset at which each phase starts."""
+        offsets, position = [], 0
+        for phase in self.phases:
+            offsets.append(position)
+            position += phase.requests
+        return offsets
+
+    def shift_offsets(self) -> list[int]:
+        """The phase *boundaries*: offsets where the client mix changes."""
+        return self.phase_offsets()[1:]
+
+    def phase_at(self, seq: int) -> Phase:
+        """The phase covering absolute request offset *seq*."""
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0, got {seq}")
+        position = 0
+        for phase in self.phases:
+            position += phase.requests
+            if seq < position:
+                return phase
+        return self.phases[-1]
+
+    def distinct_clients(self) -> list[PhaseClient]:
+        """All tenants, deduplicated by identity, in first-appearance order."""
+        seen: dict[tuple, PhaseClient] = {}
+        for phase in self.phases:
+            for client in phase.clients:
+                seen.setdefault(client.key(), client)
+        return list(seen.values())
+
+
+def default_page_stride(plan: PhasePlan) -> int:
+    """Distance between the page ranges assigned to the plan's tenants."""
+    largest = max(
+        STANDARD_TRACES[client.trace].database_pages
+        for client in plan.distinct_clients()
+    )
+    return largest * _STRIDE_FACTOR
+
+
+class PhasedTraceStream:
+    """Incremental generator of one phased trace (single use).
+
+    Mirrors :class:`~repro.workloads.standard.StandardTraceStream`: iterate
+    once to stream the plan's requests in order (bounded memory), then read
+    :meth:`metadata` for the trace metadata — per-tenant fields such as the
+    first-tier hit ratio are only final once the stream is exhausted.
+
+    Each tenant's pages are shifted into a disjoint range (first-appearance
+    order x ``page_stride``); a generated page at or above the stride raises
+    rather than silently aliasing another tenant's range.
+    """
+
+    def __init__(self, plan: PhasePlan, page_stride: int | None = None):
+        self.plan = plan
+        self.name = plan.name
+        self._stride = (
+            default_page_stride(plan) if page_stride is None else int(page_stride)
+        )
+        if self._stride < 1:
+            raise ValueError(f"page_stride must be >= 1, got {self._stride}")
+        self._started = False
+        # Tenant identity -> (underlying stream, its request iterator, page
+        # offset).  Offsets follow first-appearance order over the *plan*
+        # (not the replay), so they are a pure function of the plan.
+        self._streams: dict[tuple, StandardTraceStream] = {}
+        self._iterators: dict[tuple, Iterator[IORequest]] = {}
+        self._offsets: dict[tuple, int] = {
+            client.key(): index * self._stride
+            for index, client in enumerate(plan.distinct_clients())
+        }
+
+    @property
+    def page_stride(self) -> int:
+        return self._stride
+
+    def _iterator(self, client: PhaseClient) -> Iterator[IORequest]:
+        key = client.key()
+        iterator = self._iterators.get(key)
+        if iterator is None:
+            # The per-tenant cap is the whole plan's length: a tenant can
+            # never be asked for more than that, so the underlying stream
+            # cannot run dry mid-phase.
+            stream = StandardTraceStream(
+                client.trace,
+                seed=client.seed,
+                target_requests=self.plan.total_requests,
+                client_id=client.resolved_client_id(),
+            )
+            self._streams[key] = stream
+            iterator = iter(stream)
+            self._iterators[key] = iterator
+        return iterator
+
+    def __iter__(self) -> Iterator[IORequest]:
+        if self._started:
+            raise RuntimeError(
+                "PhasedTraceStream is single-use; build a new one to regenerate"
+            )
+        self._started = True
+        stride = self._stride
+        for phase in self.plan.phases:
+            iterators = [self._iterator(client) for client in phase.clients]
+            offsets = [self._offsets[client.key()] for client in phase.clients]
+            tenants = len(iterators)
+            for position in range(phase.requests):
+                slot = position % tenants
+                request = next(iterators[slot])
+                if request.page >= stride:
+                    raise ValueError(
+                        f"phase {phase.name!r}: generated page {request.page} "
+                        f"overflows the per-tenant page stride {stride}; pass "
+                        "a larger page_stride to PhasedTraceStream"
+                    )
+                offset = offsets[slot]
+                if offset:
+                    request = IORequest(
+                        page=request.page + offset,
+                        kind=request.kind,
+                        hints=request.hints,
+                        client_id=request.client_id,
+                    )
+                yield request
+
+    def metadata(self) -> dict:
+        """The metadata dict of the equivalent materialized trace.
+
+        JSON-serializable (the binary writer stores it verbatim); tenant
+        entries carry the underlying standard-trace metadata — including any
+        warm-up truncation record — plus the tenant's page offset.
+        """
+        tenants = []
+        for client in self.plan.distinct_clients():
+            stream = self._streams.get(client.key())
+            entry = {
+                "trace": client.trace,
+                "seed": client.seed,
+                "client_id": client.resolved_client_id(),
+                "page_offset": self._offsets[client.key()],
+            }
+            if stream is not None:
+                entry.update(stream.metadata())
+            tenants.append(entry)
+        return {
+            "phase_plan": self.plan.name,
+            "phases": [
+                {
+                    "name": phase.name,
+                    "requests": phase.requests,
+                    "clients": [c.resolved_client_id() for c in phase.clients],
+                }
+                for phase in self.plan.phases
+            ],
+            "phase_offsets": self.plan.phase_offsets(),
+            "page_stride": self._stride,
+            "total_requests": self.plan.total_requests,
+            "tenants": tenants,
+        }
+
+
+def phased_trace(plan: PhasePlan, page_stride: int | None = None) -> Trace:
+    """Materialize a phased trace in memory (tests and small experiments)."""
+    stream = PhasedTraceStream(plan, page_stride=page_stride)
+    requests = list(stream)
+    return Trace(name=plan.name, requests_list=requests, metadata=stream.metadata())
+
+
+# --------------------------------------------------------------- named plans
+def _split(total: int, parts: int) -> list[int]:
+    """Split *total* requests into *parts* contiguous phases (sum preserved)."""
+    if total < parts:
+        raise ValueError(f"cannot split {total} requests into {parts} phases")
+    base, remainder = divmod(total, parts)
+    return [base + (1 if index < remainder else 0) for index in range(parts)]
+
+
+def switch_plan(
+    total_requests: int,
+    seed: int = 17,
+    first: str = "DB2_C60",
+    second: str = "DB2_H80",
+) -> PhasePlan:
+    """Workload switch: a TPC-C tenant hands over to a TPC-H tenant."""
+    sizes = _split(total_requests, 2)
+    return PhasePlan(
+        name="switch",
+        phases=(
+            Phase("tpcc", sizes[0], (PhaseClient(first, seed),)),
+            Phase("tpch", sizes[1], (PhaseClient(second, seed),)),
+        ),
+    )
+
+
+def churn_plan(
+    total_requests: int, seed: int = 17, trace: str = "DB2_C60"
+) -> PhasePlan:
+    """Client churn: the tenant restarts as a re-seeded instance of itself."""
+    sizes = _split(total_requests, 2)
+    return PhasePlan(
+        name="churn",
+        phases=(
+            Phase("original", sizes[0], (PhaseClient(trace, seed),)),
+            Phase("restarted", sizes[1], (PhaseClient(trace, seed + 101),)),
+        ),
+    )
+
+
+def tenant_plan(
+    total_requests: int,
+    seed: int = 17,
+    base: str = "DB2_C60",
+    tenant: str = "DB2_C300",
+) -> PhasePlan:
+    """Tenant arrival/departure: a second client joins mid-run, then leaves."""
+    sizes = _split(total_requests, 3)
+    resident = PhaseClient(base, seed)
+    visitor = PhaseClient(tenant, seed + 1)
+    return PhasePlan(
+        name="tenant",
+        phases=(
+            Phase("solo", sizes[0], (resident,)),
+            Phase("shared", sizes[1], (resident, visitor)),
+            Phase("solo-again", sizes[2], (resident,)),
+        ),
+    )
+
+
+#: Named plan builders selectable from the CLI (``--phase-plan``).
+PHASE_PLANS = {
+    "switch": switch_plan,
+    "churn": churn_plan,
+    "tenant": tenant_plan,
+}
+
+
+def build_phase_plan(name: str, total_requests: int, seed: int = 17) -> PhasePlan:
+    """Build one of the named plans, scaled to *total_requests*."""
+    if name not in PHASE_PLANS:
+        raise KeyError(
+            f"unknown phase plan {name!r}; available: {sorted(PHASE_PLANS)}"
+        )
+    return PHASE_PLANS[name](total_requests, seed=seed)

@@ -27,6 +27,7 @@ and 1 000-2 000 pages respectively (:func:`server_cache_sizes`).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.trace.records import Trace
@@ -170,16 +171,39 @@ def _operations_forever(workload):
 _MAX_WARMUP_TRANSACTIONS = 100_000
 
 
-def _warm_up(client, workload, config: StandardTraceConfig) -> None:
-    """Run (and discard) workload activity until the database reaches its target size."""
+def _warm_up(client, workload, config: StandardTraceConfig) -> dict:
+    """Run (and discard) workload activity until the database reaches its target size.
+
+    Returns a (possibly empty) metadata dict describing the warm-up.  If the
+    safety cap cuts warm-up short of the growth target, that is a *different
+    trace* than the configuration asked for — so the truncation is warned
+    about and recorded in the returned metadata instead of being swallowed.
+    """
     target = config.warmup_page_target()
     if target <= workload.database.total_pages:
-        return
+        return {}
     transactions = 0
     while workload.database.total_pages < target and transactions < _MAX_WARMUP_TRANSACTIONS:
         for op in workload.next_transaction():
             client.process(op)
         transactions += 1
+    reached = workload.database.total_pages
+    if reached < target:
+        warnings.warn(
+            f"standard trace {config.name!r}: warm-up hit the "
+            f"{_MAX_WARMUP_TRANSACTIONS}-transaction safety cap at "
+            f"{reached}/{target} database pages; the traced window starts "
+            "from a smaller database than configured",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return {
+            "warmup_truncated": True,
+            "warmup_transactions": transactions,
+            "warmup_page_target": target,
+            "warmup_pages_reached": reached,
+        }
+    return {}
 
 
 class StandardTraceStream:
@@ -219,6 +243,7 @@ class StandardTraceStream:
             seed=seed + 1,
         )
         self._started = False
+        self._warmup_info: dict = {}
 
     def __iter__(self):
         if self._started:
@@ -226,7 +251,7 @@ class StandardTraceStream:
                 "StandardTraceStream is single-use; build a new one to regenerate"
             )
         self._started = True
-        _warm_up(self._client, self._workload, self._config)
+        self._warmup_info = _warm_up(self._client, self._workload, self._config)
         yield from self._client.iter_requests(
             _operations_forever(self._workload), self.target_requests
         )
@@ -245,6 +270,9 @@ class StandardTraceStream:
             "seed": self.seed,
             "paper_database_pages": config.paper_database_pages,
             "paper_buffer_pages": config.paper_buffer_pages,
+            # Warm-up truncation record (only present when the safety cap
+            # fired; fields are final once the stream is exhausted).
+            **self._warmup_info,
         }
 
 

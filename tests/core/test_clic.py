@@ -255,23 +255,15 @@ class TestVictimSelectionProperty:
 
     def test_peek_victim_matches_naive_scan(self):
         from hypothesis import HealthCheck, given, settings
-        from hypothesis import strategies as st
+
+        from tests.strategies import page_hint_event_streams
 
         hints = [hint(object_id=name) for name in ("a", "b", "c")]
-
-        @st.composite
-        def streams(draw):
-            events = st.tuples(
-                st.integers(min_value=0, max_value=11),   # page
-                st.integers(min_value=0, max_value=2),    # hint set
-                st.booleans(),                            # is_read
-            )
-            return draw(st.lists(events, min_size=1, max_size=250))
 
         @settings(
             max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
         )
-        @given(stream=streams())
+        @given(stream=page_hint_event_streams(max_page=11, hint_count=3))
         def run(stream):
             policy = CLICPolicy(capacity=4, config=small_config(window_size=7))
             for seq, (page, hint_index, is_read) in enumerate(stream):

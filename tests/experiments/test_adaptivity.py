@@ -1,0 +1,135 @@
+"""Tests for the adaptivity experiment (phased workloads + recovery times)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.adaptivity import (
+    ADAPTIVITY_POLICIES,
+    recovery_summary,
+    run_adaptivity_experiment,
+)
+from repro.experiments.common import ExperimentSettings
+from repro.simulation.metrics import RollingMetrics, RollingWindow
+from repro.workloads.phased import PhasePlan, Phase, PhaseClient, build_phase_plan
+
+TINY = ExperimentSettings(target_requests=12_000, seed=5, phase_plan="churn")
+
+
+@pytest.fixture(scope="module")
+def churn_rows():
+    return run_adaptivity_experiment(
+        settings=TINY, rolling_window=500, cache_size=1_200
+    )
+
+
+class TestRecoverySummary:
+    def _series(self, ratios, window=10):
+        windows = tuple(
+            RollingWindow(i * window, window, window, int(r * window), 0, 0, 0)
+            for i, r in enumerate(ratios)
+        )
+        return RollingMetrics(window=window, windows=windows)
+
+    def _plan(self, sizes):
+        client = PhaseClient("DB2_C60", 1)
+        phases = tuple(
+            Phase(f"p{i}", size, (client,)) for i, size in enumerate(sizes)
+        )
+        return PhasePlan("test", phases)
+
+    def test_regain_and_settle_counted_from_the_shift(self):
+        # Pre-shift level 0.5; post dips to 0.1 and climbs back by window 3.
+        rolling = self._series([0.4, 0.5, 0.1, 0.3, 0.5, 0.5])
+        (row,) = recovery_summary(rolling, self._plan([20, 40]), tolerance=0.02)
+        assert row["pre_shift_hit_ratio"] == 0.5
+        assert row["dip_hit_ratio"] == 0.1
+        assert row["regain_windows"] == 3
+        assert row["settle_windows"] == 3
+        assert row["shift_at"] == 20
+
+    def test_never_regaining_reports_none(self):
+        rolling = self._series([0.8, 0.8, 0.1, 0.1, 0.1, 0.1])
+        (row,) = recovery_summary(rolling, self._plan([20, 40]), tolerance=0.02)
+        assert row["regain_windows"] is None
+        assert row["settle_windows"] == 1  # already at its (low) steady state
+
+    def test_one_row_per_boundary(self):
+        rolling = self._series([0.5] * 9)
+        rows = recovery_summary(rolling, self._plan([30, 30, 30]))
+        assert [row["shift_at"] for row in rows] == [30, 60]
+
+    def test_boundary_straddling_windows_excluded_from_both_phases(self):
+        # Boundaries at 25 and 55 with window 10: windows [20,30) and
+        # [50,60) straddle a boundary and must count for neither phase.
+        rolling = self._series([0.8, 0.8, 0.1, 0.9, 0.9, 0.2, 0.3, 0.3])
+        plan = self._plan([25, 30, 25])
+        first, second = recovery_summary(rolling, plan, tolerance=0.02)
+        # pre for shift@25: last window fully before 25 is [10,20) -> 0.8;
+        # post windows fully inside [25,55): [30,40) and [40,50).
+        assert first["pre_shift_hit_ratio"] == 0.8
+        assert first["dip_hit_ratio"] == 0.9  # the straddling 0.1 is excluded
+        assert first["regain_windows"] == 1
+        # shift@55: pre is [40,50) -> 0.9; post windows fully inside
+        # [55,80): [60,70) and [70,80) -> steady from 0.3s, 0.2 excluded.
+        assert second["pre_shift_hit_ratio"] == 0.9
+        assert second["post_steady_hit_ratio"] == pytest.approx(0.3)
+
+
+class TestAdaptivityExperiment:
+    def test_row_structure(self, churn_rows):
+        window_rows = [r for r in churn_rows if r["row"] == "window"]
+        recovery_rows = [r for r in churn_rows if r["row"] == "recovery"]
+        assert {r["policy"] for r in window_rows} == set(ADAPTIVITY_POLICIES)
+        assert {r["policy"] for r in recovery_rows} == set(ADAPTIVITY_POLICIES)
+        per_policy = len(window_rows) // len(ADAPTIVITY_POLICIES)
+        assert per_policy == 12_000 // 500
+        assert {r["phase"] for r in window_rows} == {"original", "restarted"}
+        assert all(r["shift"] == "original->restarted" for r in recovery_rows)
+
+    def test_every_policy_dips_at_the_churn_boundary(self, churn_rows):
+        for row in (r for r in churn_rows if r["row"] == "recovery"):
+            assert row["dip_hit_ratio"] < row["pre_shift_hit_ratio"]
+
+    def test_clic_recovers_within_bounded_windows(self, churn_rows):
+        """The paper's adaptation story: CLIC re-learns within its windows."""
+        (clic,) = [
+            r for r in churn_rows if r["row"] == "recovery" and r["policy"] == "CLIC"
+        ]
+        post_windows = (12_000 // 2) // 500
+        assert clic["regain_windows"] is not None
+        assert clic["regain_windows"] <= post_windows
+        assert clic["settle_windows"] is not None
+
+    def test_clic_steady_state_beats_the_baselines(self, churn_rows):
+        recovery = {
+            r["policy"]: r for r in churn_rows if r["row"] == "recovery"
+        }
+        clic_steady = recovery["CLIC"]["post_steady_hit_ratio"]
+        for name in ("ARC", "LRU", "TQ"):
+            assert clic_steady > recovery[name]["post_steady_hit_ratio"]
+
+    def test_plan_argument_forms_agree(self):
+        by_name = run_adaptivity_experiment(
+            plan="churn", settings=TINY, rolling_window=1_000, cache_size=1_200
+        )
+        by_plan = run_adaptivity_experiment(
+            plan=build_phase_plan("churn", TINY.target_requests, seed=TINY.seed),
+            settings=TINY,
+            rolling_window=1_000,
+            cache_size=1_200,
+        )
+        by_settings = run_adaptivity_experiment(
+            settings=TINY, rolling_window=1_000, cache_size=1_200
+        )
+        assert by_name == by_plan == by_settings
+
+    def test_registry_and_cli_wiring(self):
+        from repro.experiments.cli import build_parser
+        from repro.experiments.registry import get_experiment
+
+        assert get_experiment("adaptivity").runner is run_adaptivity_experiment
+        args = build_parser().parse_args(["adaptivity", "--phase-plan", "tenant"])
+        assert args.phase_plan == "tenant"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adaptivity", "--phase-plan", "nope"])

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,38 +15,20 @@ from repro.cache.tq import TQPolicy
 from repro.cache.twoq import TwoQPolicy
 from repro.core.clic import CLICPolicy
 from repro.core.config import CLICConfig
-from repro.core.hints import HintSet, make_hint_set
 from repro.core.outqueue import OutQueue
 from repro.core.spacesaving import SpaceSaving
 from repro.core.statistics import HintTable
-from repro.simulation.request import IORequest, RequestKind
 from repro.simulation.simulator import CacheSimulator
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import Trace
 
+from tests.strategies import capacities, request_streams as request_streams_strategy
 
-# --------------------------------------------------------------------------- strategies
-hint_values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["read", "write", "x"]))
+pytestmark = pytest.mark.property
 
-
-@st.composite
-def hint_sets(draw):
-    names = ("kind", "obj")
-    values = tuple(draw(hint_values) for _ in names)
-    return HintSet(client_id=draw(st.sampled_from(["a", "b"])), names=names, values=values)
-
-
-@st.composite
-def requests(draw, max_page: int = 40):
-    return IORequest(
-        page=draw(st.integers(min_value=0, max_value=max_page)),
-        kind=draw(st.sampled_from([RequestKind.READ, RequestKind.WRITE])),
-        hints=draw(hint_sets()),
-    )
-
-
-request_streams = st.lists(requests(), min_size=1, max_size=300)
-capacities = st.integers(min_value=1, max_value=20)
+# Shared generators live in tests/strategies.py; this module only binds the
+# sizes its properties want.
+request_streams = request_streams_strategy()
 
 ONLINE_POLICIES = [LRUPolicy, ARCPolicy, TwoQPolicy, CARPolicy, MQPolicy, TQPolicy]
 

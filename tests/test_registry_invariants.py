@@ -1,0 +1,172 @@
+"""Cross-policy invariant suite: every registry policy, one set of laws.
+
+Before this suite, core invariants (capacity bound, counter consistency,
+determinism) were pinned ad hoc per policy file; a new policy — or a wrapper
+like the sharded cluster — could join the registry without inheriting any of
+them.  This suite derives its policy list from the registry itself
+(:mod:`repro.cache.registry`), so anything registered is automatically held
+to:
+
+* **capacity** — cached pages never exceed capacity, after every request;
+* **conservation** — hits + misses == requests, for reads and writes
+  separately (and per client);
+* **determinism** — replaying the same stream through a same-configured
+  policy yields an identical :class:`SimulationResult`.
+
+SHARDED-wrapped variants and cost-model-priced runs are included: pricing
+must never change replay outcomes, and a cluster is held to the same laws as
+the policy it wraps.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.registry import available_policies, create_policy
+from repro.core.config import CLICConfig
+from repro.simulation.costmodel import CostModel
+from repro.simulation.request import RequestKind
+from repro.simulation.simulator import CacheSimulator
+
+from tests.strategies import request_streams
+
+#: Constructor kwargs giving each registry policy a test-sized configuration.
+_POLICY_KWARGS = {
+    "CLIC": {"config": CLICConfig(window_size=20, charge_metadata=False)},
+    "SHARDED": {"policy": "LRU", "shards": 3, "router": "hash"},
+}
+
+#: Sharded variants: the cluster must obey the same laws as what it wraps.
+_SHARDED_VARIANTS = [
+    ("SHARDED[LRU]", {"policy": "LRU", "shards": 3, "router": "hash"}),
+    ("SHARDED[ARC]", {"policy": "ARC", "shards": 2, "router": "client"}),
+    (
+        "SHARDED[CLIC]",
+        {
+            "policy": "CLIC",
+            "shards": 2,
+            "router": "hash",
+            "policy_kwargs": {
+                "config": CLICConfig(window_size=20, charge_metadata=False)
+            },
+        },
+    ),
+]
+
+
+def _registry_cases() -> list[tuple[str, str, dict]]:
+    """(test id, registry name, kwargs) for every registered policy."""
+    cases = [
+        (name, name, _POLICY_KWARGS.get(name, {})) for name in available_policies()
+    ]
+    cases.extend(
+        (label, "SHARDED", kwargs) for label, kwargs in _SHARDED_VARIANTS
+    )
+    return cases
+
+
+CASES = _registry_cases()
+CASE_IDS = [case[0] for case in CASES]
+
+#: Capacity must exceed the shard count (each shard needs >= 1 page).
+CAPACITY = 12
+
+STREAMS = request_streams(min_size=1, max_size=120)
+
+
+def _build(name: str, kwargs: dict):
+    return create_policy(name, capacity=CAPACITY, **kwargs)
+
+
+def _disjoint_pages(stream):
+    """Remap pages into per-client ranges (the documented multi-client
+    precondition: clients never share page ids — the interleaver normally
+    enforces it; client-affinity routing relies on it)."""
+    from repro.simulation.request import IORequest
+
+    offsets: dict[str, int] = {}
+    remapped = []
+    for request in stream:
+        offset = offsets.setdefault(request.client_id, 10_000 * len(offsets))
+        remapped.append(
+            IORequest(
+                page=request.page + offset,
+                kind=request.kind,
+                hints=request.hints,
+                client_id=request.client_id,
+            )
+        )
+    return remapped
+
+
+def _run(name: str, kwargs: dict, stream, cost_model=None):
+    return CacheSimulator(_build(name, kwargs), cost_model=cost_model).run(stream)
+
+
+@pytest.mark.property
+class TestRegistryInvariants:
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_capacity_never_exceeded(self, label, name, kwargs, stream):
+        if kwargs.get("router") == "client":
+            stream = _disjoint_pages(stream)
+        policy = _build(name, kwargs)
+        if policy.offline:
+            policy.prepare(stream, 0)
+        for seq, request in enumerate(stream):
+            policy.access(request, seq)
+            assert len(policy) <= policy.capacity
+            cached = list(policy.cached_pages())
+            assert len(cached) == len(set(cached)) == len(policy)
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_counters_conserve_requests(self, label, name, kwargs, stream):
+        result = _run(name, kwargs, stream)
+        stats = result.stats
+        reads = sum(1 for r in stream if r.kind is RequestKind.READ)
+        writes = len(stream) - reads
+        # hits + misses == requests, where misses = requests - hits >= 0.
+        assert stats.read_requests == reads
+        assert stats.write_requests == writes
+        assert 0 <= stats.read_hits <= stats.read_requests
+        assert 0 <= stats.write_hits <= stats.write_requests
+        assert stats.requests == len(stream)
+        # Per-client accounting must partition the totals exactly.
+        assert sum(s.read_requests for s in result.per_client.values()) == reads
+        assert sum(s.read_hits for s in result.per_client.values()) == stats.read_hits
+        # Sharded runs: shards partition the stream.
+        if result.per_shard:
+            assert sum(s.requests for s in result.per_shard) == len(stream)
+            assert sum(s.read_hits for s in result.per_shard) == stats.read_hits
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_same_stream_replay_is_identical(self, label, name, kwargs, stream):
+        first = _run(name, kwargs, stream)
+        second = _run(name, kwargs, stream)
+        assert first.stats.as_dict() == second.stats.as_dict()
+        assert {c: s.as_dict() for c, s in first.per_client.items()} == {
+            c: s.as_dict() for c, s in second.per_client.items()
+        }
+        assert [s.as_dict() for s in first.per_shard] == [
+            s.as_dict() for s in second.per_shard
+        ]
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS, device=st.sampled_from(["ssd", "hdd"]))
+    def test_cost_model_never_changes_outcomes(self, label, name, kwargs, stream, device):
+        """Pricing is a second accounting pass: replay outcomes are identical."""
+        unpriced = _run(name, kwargs, stream)
+        priced = _run(
+            name, kwargs, stream, cost_model=CostModel(device=device, page_span=64)
+        )
+        assert priced.stats.as_dict() == unpriced.stats.as_dict()
+        assert priced.latency is not None
+        assert priced.latency.request_count == len(stream)

@@ -7,9 +7,8 @@ import struct
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
-from repro.core.hints import EMPTY_HINT_SET, HintSet, make_hint_set
+from repro.core.hints import make_hint_set
 from repro.simulation.request import IORequest, RequestKind
 from repro.trace.binio import (
     BLOCK_REQUESTS,
@@ -23,6 +22,7 @@ from repro.trace.io import TraceFormatError, read_trace, write_trace
 from repro.trace.records import Trace
 
 from tests.conftest import hint, rd, wr
+from tests.strategies import traces as traces_strategy
 
 
 def sample_trace() -> Trace:
@@ -32,54 +32,8 @@ def sample_trace() -> Trace:
     return Trace(name="sample", requests_list=requests, metadata={"seed": 7, "f": 0.25})
 
 
-# ----------------------------------------------------------------- strategies
-
-_hint_values = st.one_of(
-    st.integers(min_value=-5, max_value=10_000),
-    st.text(max_size=8),
-    st.booleans(),
-)
-
-
-@st.composite
-def hint_sets(draw) -> HintSet:
-    client = draw(st.sampled_from(["db2", "mysql", "c-0", ""]))
-    if client == "":
-        return EMPTY_HINT_SET
-    names = draw(
-        st.lists(
-            st.sampled_from(["pool_id", "object_id", "request_type", "fix_count"]),
-            unique=True,
-            max_size=4,
-        )
-    )
-    values = tuple(draw(_hint_values) for _ in names)
-    return HintSet(client_id=client, names=tuple(names), values=values)
-
-
-@st.composite
-def io_requests(draw) -> IORequest:
-    hints = draw(hint_sets())
-    kind = draw(st.sampled_from([RequestKind.READ, RequestKind.WRITE]))
-    client_id = draw(st.sampled_from(["", "override-client"]))
-    return IORequest(
-        page=draw(st.integers(min_value=0, max_value=2**40)),
-        kind=kind,
-        hints=hints,
-        client_id=client_id,
-    )
-
-
-traces = st.builds(
-    Trace,
-    name=st.text(min_size=1, max_size=12),
-    requests_list=st.lists(io_requests(), max_size=60),
-    metadata=st.dictionaries(
-        st.text(min_size=1, max_size=8).filter(lambda k: k != "name"),
-        st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=8)),
-        max_size=4,
-    ),
-)
+# Round-trip inputs come from the shared strategy pool (tests/strategies.py).
+traces = traces_strategy()
 
 
 def assert_traces_equal(a: Trace, b: Trace) -> None:

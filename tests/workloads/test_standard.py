@@ -96,3 +96,39 @@ class TestTraceGeneration:
         types = {r.hints.get("request_type") for r in trace}
         assert RequestType.REPLACEMENT_WRITE in types
         assert RequestType.READ in types
+
+
+class TestWarmupTruncation:
+    """The warm-up safety cap must be loud: warning + metadata record."""
+
+    def test_truncation_warns_and_lands_in_metadata(self, monkeypatch):
+        from repro.workloads import standard as standard_module
+
+        monkeypatch.setattr(standard_module, "_MAX_WARMUP_TRANSACTIONS", 3)
+        with pytest.warns(RuntimeWarning, match="safety cap"):
+            trace = standard_trace("DB2_C540", seed=3, target_requests=200)
+        assert trace.metadata["warmup_truncated"] is True
+        assert trace.metadata["warmup_transactions"] == 3
+        assert (
+            trace.metadata["warmup_pages_reached"]
+            < trace.metadata["warmup_page_target"]
+        )
+
+    def test_normal_warmup_is_silent_and_unrecorded(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trace = standard_trace("DB2_C60", seed=3, target_requests=200)
+        assert "warmup_truncated" not in trace.metadata
+
+    def test_streaming_metadata_carries_truncation_record(self, monkeypatch):
+        from repro.workloads import standard as standard_module
+        from repro.workloads.standard import StandardTraceStream
+
+        monkeypatch.setattr(standard_module, "_MAX_WARMUP_TRANSACTIONS", 3)
+        stream = StandardTraceStream("DB2_C540", seed=3, target_requests=200)
+        assert "warmup_truncated" not in stream.metadata()  # not yet run
+        with pytest.warns(RuntimeWarning, match="safety cap"):
+            list(stream)
+        assert stream.metadata()["warmup_truncated"] is True

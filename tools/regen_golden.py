@@ -1,0 +1,48 @@
+"""Regenerate the golden experiment fixtures under tests/experiments/golden/.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/regen_golden.py            # all experiments
+    PYTHONPATH=src python tools/regen_golden.py fig6 fig9  # a subset
+
+The fixtures pin the exact rows every registered experiment reports at the
+tiny golden settings (see ``tests/experiments/goldens.GOLDEN_SETTINGS``).
+Regenerating is the *intentional* way to move those numbers: run this, then
+review the JSON diff in version control like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+
+def main(argv=None) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    from tests.experiments.goldens import GOLDEN_DIR, compute_rows, fixture_path
+
+    requested = list(argv if argv is not None else sys.argv[1:])
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+        return 2
+    targets = requested or sorted(EXPERIMENTS)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for experiment_id in targets:
+        rows = compute_rows(experiment_id)
+        path = fixture_path(experiment_id)
+        path.write_text(
+            json.dumps(rows, indent=1, sort_keys=False) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path.relative_to(REPO_ROOT)} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
