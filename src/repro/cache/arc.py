@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -45,7 +45,7 @@ class ARCPolicy(CachePolicy):
         self._b2: OrderedDict[int, None] = OrderedDict()
 
     # ----------------------------------------------------------- internals
-    def _replace(self, in_b2: bool) -> None:
+    def _replace(self, in_b2: bool) -> int:
         """REPLACE(x, p) from the ARC paper: evict from T1 or T2 to a ghost list."""
         if self._t1 and (
             len(self._t1) > self._p
@@ -56,62 +56,57 @@ class ARCPolicy(CachePolicy):
         else:
             victim, _ = self._t2.popitem(last=False)
             self._b2[victim] = None
-        self.stats.evictions += 1
+        return victim
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         c = self.capacity
 
         # Case I: hit in T1 or T2 -> move to MRU of T2.
         if page in self._t1 or page in self._t2:
-            self.stats.record(request, True)
             if page in self._t1:
                 del self._t1[page]
             else:
                 del self._t2[page]
             self._t2[page] = None
-            return True
-
-        self.stats.record(request, False)
+            return HIT
 
         # Case II: ghost hit in B1 -> favour recency (grow p).
         if page in self._b1:
             delta = 1.0 if len(self._b1) >= len(self._b2) else len(self._b2) / len(self._b1)
             self._p = min(self._p + delta, float(c))
-            self._replace(in_b2=False)
+            victim = self._replace(in_b2=False)
             del self._b1[page]
             self._t2[page] = None
-            self.stats.admissions += 1
-            return False
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
 
         # Case III: ghost hit in B2 -> favour frequency (shrink p).
         if page in self._b2:
             delta = 1.0 if len(self._b2) >= len(self._b1) else len(self._b1) / len(self._b2)
             self._p = max(self._p - delta, 0.0)
-            self._replace(in_b2=True)
+            victim = self._replace(in_b2=True)
             del self._b2[page]
             self._t2[page] = None
-            self.stats.admissions += 1
-            return False
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
 
         # Case IV: complete miss.
+        evicted: tuple[int, ...] = ()
         l1 = len(self._t1) + len(self._b1)
         l2 = len(self._t2) + len(self._b2)
         if l1 == c:
             if len(self._t1) < c:
                 self._b1.popitem(last=False)
-                self._replace(in_b2=False)
+                evicted = (self._replace(in_b2=False),)
             else:
                 # B1 is empty; evict the LRU page of T1 directly.
-                self._t1.popitem(last=False)
-                self.stats.evictions += 1
+                victim, _ = self._t1.popitem(last=False)
+                evicted = (victim,)
         elif l1 < c and l1 + l2 >= c:
             if l1 + l2 == 2 * c:
                 self._b2.popitem(last=False)
-            self._replace(in_b2=False)
+            evicted = (self._replace(in_b2=False),)
         self._t1[page] = None
-        self.stats.admissions += 1
-        return False
+        return AccessOutcome(False, admitted=True, evicted=evicted)
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

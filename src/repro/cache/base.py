@@ -1,29 +1,42 @@
 """Common interface for storage-server cache replacement policies.
 
 Every policy in this package (and :class:`repro.core.clic.CLICPolicy`)
-implements :class:`CachePolicy`.  The trace-driven simulator feeds a policy
+implements :class:`CachePolicy`.  The trace-driven replay loop feeds a policy
 one :class:`~repro.simulation.request.IORequest` at a time, in arrival order,
 together with the request's server-assigned sequence number; the policy
-reports whether the requested page was in the cache and updates its internal
-state (admission, promotion, eviction).
+returns a structured :class:`AccessOutcome` describing what happened
+(hit/miss, admission, bypass, evicted pages).
 
-The paper's evaluation metric is the *read hit ratio*: the number of read
-hits divided by the number of read requests.  Policies report hits for both
-reads and writes; the simulator and :class:`CacheStats` do the bookkeeping.
+Policies are **pure kernels**: they own only their replacement state (which
+pages are cached, in what order/priority), never any accounting.  All
+statistics — including the paper's *read hit ratio* metric — are derived
+from the outcome events by replay observers
+(:mod:`repro.simulation.observers`); :class:`CacheStats` is the accounting
+container those observers produce.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+import copy
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
 
-__all__ = ["CacheStats", "CachePolicy", "validate_capacity"]
+__all__ = [
+    "AccessOutcome",
+    "HIT",
+    "MISS_ADMIT",
+    "MISS_BYPASS",
+    "CacheStats",
+    "CachePolicy",
+    "validate_capacity",
+]
 
 
 def validate_capacity(capacity: int) -> int:
@@ -35,9 +48,85 @@ def validate_capacity(capacity: int) -> int:
     return capacity
 
 
+class AccessOutcome:
+    """What one :meth:`CachePolicy.access` call did, as a value object.
+
+    The outcome is the policy's *only* output channel: replay observers fold
+    outcome streams into statistics, so one counting rule holds for every
+    policy.  The fields mirror the accounting events the old in-policy
+    bookkeeping mutated:
+
+    * ``hit`` — the requested page was cached when the request arrived;
+    * ``admitted`` — the page was inserted into the cache by this access;
+    * ``bypassed`` — the policy consciously declined to admit a missed page;
+    * ``evicted`` — pages removed from the cache by this access, in eviction
+      order.  Usually empty or one page; an eviction may accompany a *hit*
+      (OPT drops pages it proves dead on their final read).
+
+    Hot-path note: the three common cases are interned as module singletons
+    (:data:`HIT`, :data:`MISS_ADMIT`, :data:`MISS_BYPASS`) so the replay
+    loop allocates only for evicting outcomes.
+    """
+
+    __slots__ = ("hit", "admitted", "bypassed", "evicted")
+
+    def __init__(
+        self,
+        hit: bool,
+        admitted: bool = False,
+        bypassed: bool = False,
+        evicted: tuple[int, ...] = (),
+    ):
+        self.hit = hit
+        self.admitted = admitted
+        self.bypassed = bypassed
+        self.evicted = evicted
+
+    def __bool__(self) -> bool:
+        """Truthiness is the hit flag (``if policy.access(...)`` reads as
+        "if it hit", matching the historical bool return)."""
+        return self.hit
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessOutcome):
+            return NotImplemented
+        return (
+            self.hit == other.hit
+            and self.admitted == other.admitted
+            and self.bypassed == other.bypassed
+            and self.evicted == other.evicted
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.hit, self.admitted, self.bypassed, self.evicted))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = [f"hit={self.hit}"]
+        if self.admitted:
+            flags.append("admitted")
+        if self.bypassed:
+            flags.append("bypassed")
+        if self.evicted:
+            flags.append(f"evicted={self.evicted}")
+        return f"AccessOutcome({', '.join(flags)})"
+
+
+#: The requested page was cached; nothing else changed.
+HIT = AccessOutcome(True)
+#: Miss, page admitted, nothing evicted (the cache had room).
+MISS_ADMIT = AccessOutcome(False, admitted=True)
+#: Miss, page deliberately not admitted.
+MISS_BYPASS = AccessOutcome(False, bypassed=True)
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one simulation run of a single policy."""
+    """Hit/miss accounting for one simulation run of a single policy.
+
+    Produced by the stats observer (:class:`repro.simulation.observers
+    .StatsObserver`) from a policy's outcome stream; policies themselves no
+    longer carry one.
+    """
 
     read_requests: int = 0
     read_hits: int = 0
@@ -65,7 +154,7 @@ class CacheStats:
         return (self.read_hits + self.write_hits) / self.requests
 
     def record(self, request: IORequest, hit: bool) -> None:
-        """Record the outcome of one request."""
+        """Record the hit/miss outcome of one request."""
         if request.is_read:
             self.read_requests += 1
             if hit:
@@ -74,6 +163,16 @@ class CacheStats:
             self.write_requests += 1
             if hit:
                 self.write_hits += 1
+
+    def record_outcome(self, request: IORequest, outcome: AccessOutcome) -> None:
+        """Fold one full :class:`AccessOutcome` event into the counters."""
+        self.record(request, outcome.hit)
+        if outcome.admitted:
+            self.admissions += 1
+        if outcome.bypassed:
+            self.bypasses += 1
+        if outcome.evicted:
+            self.evictions += len(outcome.evicted)
 
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return a new :class:`CacheStats` aggregating *self* and *other*."""
@@ -103,9 +202,19 @@ class CacheStats:
 class CachePolicy(abc.ABC):
     """Abstract base class for storage-server cache replacement policies.
 
-    Subclasses must implement :meth:`access` and :meth:`contains`, keep the
-    number of cached pages at or below ``capacity`` at all times, and maintain
-    :attr:`stats`.
+    Subclasses implement the **policy kernel contract**:
+
+    * :meth:`access` processes one request, mutates only replacement state,
+      and reports everything it did as an :class:`AccessOutcome` — it must
+      never count anything itself;
+    * the number of cached pages stays at or below ``capacity`` after every
+      access;
+    * the evicted pages reported in outcomes are exactly the pages that left
+      the cache, so ``admissions - evictions == len(policy)`` holds at all
+      times (one admission per residency);
+    * kernel state is fully captured by :meth:`snapshot` / :meth:`restore`:
+      restoring a snapshot and replaying the same tail produces identical
+      outcomes.
     """
 
     #: Short name used by the policy registry and in experiment output.
@@ -118,15 +227,47 @@ class CachePolicy(abc.ABC):
     #: (:meth:`prepare`) before simulation.  Only OPT sets this.
     offline: bool = False
 
+    #: Instance attributes excluded from :meth:`snapshot`: anything that is
+    #: not kernel state (the replay loop's bookkeeping hooks).
+    _SNAPSHOT_EXCLUDE: frozenset[str] = frozenset({"_stats_view"})
+
+    #: Names of attributes shared by reference across snapshots instead of
+    #: being deep-copied: immutable-by-contract structures that may be
+    #: shared between policy instances (OPT's future-read index).
+    _SNAPSHOT_SHARED: tuple[str, ...] = ()
+
     def __init__(self, capacity: int):
         self._capacity = validate_capacity(capacity)
-        self.stats = CacheStats()
+        #: Stats of the policy's most recent simulation run, installed by the
+        #: replay loop for the deprecated :attr:`stats` shim.  Not kernel
+        #: state; never read it from within a policy.
+        self._stats_view: CacheStats | None = None
 
     # ------------------------------------------------------------------ API
     @property
     def capacity(self) -> int:
         """Cache capacity in pages."""
         return self._capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        """Deprecated: stats of the policy's most recent simulation run.
+
+        Policies are pure kernels and no longer do their own accounting;
+        read statistics from :attr:`SimulationResult.stats` (or attach a
+        :class:`~repro.simulation.observers.StatsObserver`) instead.  This
+        shim returns the stats the last replay installed — empty if the
+        policy has only been driven directly, outside a simulator.
+        """
+        warnings.warn(
+            "CachePolicy.stats is deprecated: policies no longer own "
+            "accounting; read SimulationResult.stats (or attach a "
+            "StatsObserver) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        view = self._stats_view
+        return view if view is not None else CacheStats()
 
     def prepare(self, requests: Sequence[IORequest], start_seq: int = 0) -> None:
         """Give offline policies (OPT) the full request stream in advance.
@@ -139,12 +280,14 @@ class CachePolicy(abc.ABC):
         """
 
     @abc.abstractmethod
-    def access(self, request: IORequest, seq: int) -> bool:
-        """Process one request; return ``True`` iff the page was cached.
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
+        """Process one request; return what happened as an outcome event.
 
         ``seq`` is the server-assigned sequence number (0-based position of
-        the request in the stream).  Implementations must call
-        ``self.stats.record(request, hit)`` exactly once.
+        the request in the stream).  Implementations mutate only their
+        replacement state and report every admission, bypass and eviction in
+        the returned :class:`AccessOutcome`; all statistics are derived from
+        outcomes by the replay observers.
         """
 
     @abc.abstractmethod
@@ -165,8 +308,48 @@ class CachePolicy(abc.ABC):
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Drop all cached pages and statistics (capacity is kept)."""
-        self.stats = CacheStats()
+        """Drop all cached pages (capacity is kept).
+
+        Also forgets the last run's stats view (the deprecated shim), so a
+        reset policy looks freshly built.
+        """
+        self._stats_view = None
+
+    # ---------------------------------------------------------- snapshotting
+    def snapshot(self) -> Mapping[str, object]:
+        """Capture the kernel state as an opaque, reusable snapshot.
+
+        The default implementation deep-copies every instance attribute
+        except :attr:`_SNAPSHOT_EXCLUDE`; attributes named in
+        :attr:`_SNAPSHOT_SHARED` are carried by reference (read-only shared
+        structures such as OPT's future-read index).  Snapshots are
+        insulated from further mutation of the policy and may be restored
+        any number of times (service-mode checkpointing, crash recovery).
+        """
+        memo: dict[int, object] = {}
+        for name in self._SNAPSHOT_SHARED:
+            value = self.__dict__.get(name)
+            if value is not None:
+                memo[id(value)] = value
+        state = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in self._SNAPSHOT_EXCLUDE
+        }
+        return copy.deepcopy(state, memo)
+
+    def restore(self, state: Mapping[str, object]) -> None:
+        """Restore kernel state captured by :meth:`snapshot`.
+
+        The snapshot itself stays pristine (it is deep-copied back in), so
+        one snapshot can seed many restores deterministically.
+        """
+        memo: dict[int, object] = {}
+        for name in self._SNAPSHOT_SHARED:
+            value = state.get(name)
+            if value is not None:
+                memo[id(value)] = value
+        self.__dict__.update(copy.deepcopy(dict(state), memo))
 
     # -------------------------------------------------------------- helpers
     def _check_invariant(self) -> None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -40,7 +40,7 @@ class CARPolicy(CachePolicy):
         self._b2: OrderedDict[int, None] = OrderedDict()
 
     # ----------------------------------------------------------- internals
-    def _replace(self) -> None:
+    def _replace(self) -> int | None:
         """The CAR "replace()" procedure: demote from T1/T2 into B1/B2."""
         while True:
             if len(self._t1) >= max(1, int(self._p)) and self._t1:
@@ -55,8 +55,7 @@ class CARPolicy(CachePolicy):
                     self._in_t1.discard(page)
                     del self._ref[page]
                     self._b1[page] = None
-                    self.stats.evictions += 1
-                    return
+                    return page
             elif self._t2:
                 page = self._t2.popleft()
                 if self._ref[page]:
@@ -66,25 +65,25 @@ class CARPolicy(CachePolicy):
                     self._in_t2.discard(page)
                     del self._ref[page]
                     self._b2[page] = None
-                    self.stats.evictions += 1
-                    return
+                    return page
             else:  # pragma: no cover - only reachable with capacity 0, which is rejected
-                return
+                return None
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         c = self.capacity
         if page in self._ref:
-            self.stats.record(request, True)
             self._ref[page] = True
-            return True
+            return HIT
 
-        self.stats.record(request, False)
         in_b1 = page in self._b1
         in_b2 = page in self._b2
 
+        evicted: tuple[int, ...] = ()
         if len(self) == c:
-            self._replace()
+            victim = self._replace()
+            if victim is not None:
+                evicted = (victim,)
             # Ghost-list housekeeping on a complete miss.
             if not in_b1 and not in_b2:
                 if len(self._t1) + len(self._b1) > c and self._b1:
@@ -112,8 +111,7 @@ class CARPolicy(CachePolicy):
             self._t2.append(page)
             self._in_t2.add(page)
             self._ref[page] = False
-        self.stats.admissions += 1
-        return False
+        return AccessOutcome(False, admitted=True, evicted=evicted)
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -31,19 +31,16 @@ class ClockPolicy(CachePolicy):
         self._index: dict[int, int] = {}      # page -> frame position
         self._hand = 0
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
-        hit = page in self._ref
-        self.stats.record(request, hit)
-        if hit:
+        if page in self._ref:
             self._ref[page] = True
-            return True
+            return HIT
         if len(self._frames) < self.capacity:
             self._index[page] = len(self._frames)
             self._frames.append(page)
             self._ref[page] = False
-            self.stats.admissions += 1
-            return False
+            return MISS_ADMIT
         # Advance the hand, clearing reference bits, until an unreferenced
         # page is found; replace it in place.
         while True:
@@ -58,9 +55,7 @@ class ClockPolicy(CachePolicy):
                 self._index[page] = self._hand
                 self._ref[page] = False
                 self._hand = (self._hand + 1) % self.capacity
-                self.stats.evictions += 1
-                self.stats.admissions += 1
-                return False
+                return AccessOutcome(False, admitted=True, evicted=(victim,))
 
     def contains(self, page: int) -> bool:
         return page in self._ref

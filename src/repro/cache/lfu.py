@@ -12,7 +12,7 @@ import heapq
 import itertools
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -36,28 +36,27 @@ class LFUPolicy(CachePolicy):
     def _push(self, page: int) -> None:
         heapq.heappush(self._heap, (self._freq[page], next(self._counter), page))
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
-        hit = page in self._freq
-        self.stats.record(request, hit)
-        if hit:
+        if page in self._freq:
             self._freq[page] += 1
             self._push(page)
-            return True
+            return HIT
         if len(self._freq) >= self.capacity:
-            self._evict_one()
+            victim = self._evict_one()
+            self._freq[page] = 1
+            self._push(page)
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
         self._freq[page] = 1
         self._push(page)
-        self.stats.admissions += 1
-        return False
+        return MISS_ADMIT
 
-    def _evict_one(self) -> None:
+    def _evict_one(self) -> int:
         while self._heap:
             freq, _tiebreak, page = heapq.heappop(self._heap)
             if self._freq.get(page) == freq:
                 del self._freq[page]
-                self.stats.evictions += 1
-                return
+                return page
         raise RuntimeError("LFU heap exhausted while cache non-empty")  # pragma: no cover
 
     def contains(self, page: int) -> bool:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -31,19 +31,18 @@ class LRUPolicy(CachePolicy):
         # OrderedDict ordered from least- to most-recently used.
         self._pages: OrderedDict[int, None] = OrderedDict()
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
-        hit = page in self._pages
-        self.stats.record(request, hit)
-        if hit:
-            self._pages.move_to_end(page)
-        else:
-            if len(self._pages) >= self.capacity:
-                self._pages.popitem(last=False)
-                self.stats.evictions += 1
-            self._pages[page] = None
-            self.stats.admissions += 1
-        return hit
+        pages = self._pages
+        if page in pages:
+            pages.move_to_end(page)
+            return HIT
+        if len(pages) >= self.capacity:
+            victim, _ = pages.popitem(last=False)
+            pages[page] = None
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
+        pages[page] = None
+        return MISS_ADMIT
 
     def contains(self, page: int) -> bool:
         return page in self._pages

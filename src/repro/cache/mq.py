@@ -20,7 +20,7 @@ import math
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -86,7 +86,7 @@ class MQPolicy(CachePolicy):
                 else:
                     break
 
-    def _evict_one(self) -> None:
+    def _evict_one(self) -> int:
         for level in range(self._m):
             queue = self._queues[level]
             if queue:
@@ -95,33 +95,36 @@ class MQPolicy(CachePolicy):
                 self._ghost[page] = entry.freq
                 if len(self._ghost) > self._ghost_capacity:
                     self._ghost.popitem(last=False)
-                self.stats.evictions += 1
-                return
+                return page
         raise RuntimeError("MQ eviction requested on an empty cache")  # pragma: no cover
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         self._now += 1
-        hit = page in self._where
-        self.stats.record(request, hit)
-        if hit:
+        if page in self._where:
             entry = self._where[page]
             del self._queues[entry.level][page]
             entry.freq += 1
             entry.level = self._level_for(entry.freq)
             entry.expire = self._now + self._lifetime
             self._queues[entry.level][page] = entry
+            outcome = HIT
         else:
+            evicted: tuple[int, ...] = ()
             if len(self._where) >= self.capacity:
-                self._evict_one()
+                evicted = (self._evict_one(),)
             freq = self._ghost.pop(page, 0) + 1
             level = self._level_for(freq)
             entry = _MQEntry(page, freq, self._now + self._lifetime, level)
             self._queues[level][page] = entry
             self._where[page] = entry
-            self.stats.admissions += 1
+            outcome = (
+                AccessOutcome(False, admitted=True, evicted=evicted)
+                if evicted
+                else MISS_ADMIT
+            )
         self._adjust()
-        return hit
+        return outcome
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

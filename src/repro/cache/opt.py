@@ -22,7 +22,7 @@ import heapq
 from bisect import bisect_right
 from typing import Iterable, Sequence
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, MISS_BYPASS, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -40,6 +40,10 @@ class OPTPolicy(CachePolicy):
     name = "OPT"
     hint_aware = False
     offline = True
+
+    #: The future-read index is read-only and may be shared across many OPT
+    #: instances (and sharded clusters); snapshots carry it by reference.
+    _SNAPSHOT_SHARED = ("_read_positions",)
 
     def __init__(self, capacity: int):
         super().__init__(capacity)
@@ -91,12 +95,11 @@ class OPTPolicy(CachePolicy):
         return float(positions[idx])
 
     # --------------------------------------------------------------- access
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         if not self._prepared:
             raise RuntimeError("OPTPolicy.access called before prepare()")
         page = request.page
         hit = page in self._cached
-        self.stats.record(request, hit)
 
         next_read = self._next_read(page, seq)
         if hit:
@@ -107,16 +110,14 @@ class OPTPolicy(CachePolicy):
                 # the number of capacity-pressure replacements, and
                 # ``admissions - evictions == len(cache)`` still holds.
                 del self._cached[page]
-                self.stats.evictions += 1
-            else:
-                self._cached[page] = next_read
-                heapq.heappush(self._heap, (-next_read, page))
-            return True
+                return AccessOutcome(True, evicted=(page,))
+            self._cached[page] = next_read
+            heapq.heappush(self._heap, (-next_read, page))
+            return HIT
 
         if next_read == _NEVER:
             # Never read again: pointless to cache (bypass).
-            self.stats.bypasses += 1
-            return False
+            return MISS_BYPASS
 
         if len(self._cached) >= self.capacity:
             victim = self._pop_farthest()
@@ -124,15 +125,15 @@ class OPTPolicy(CachePolicy):
                 # Every cached page is read sooner than the new page: bypass.
                 if victim is not None:
                     heapq.heappush(self._heap, (-self._cached[victim], victim))
-                self.stats.bypasses += 1
-                return False
+                return MISS_BYPASS
             del self._cached[victim]
-            self.stats.evictions += 1
+            self._cached[page] = next_read
+            heapq.heappush(self._heap, (-next_read, page))
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
 
         self._cached[page] = next_read
         heapq.heappush(self._heap, (-next_read, page))
-        self.stats.admissions += 1
-        return False
+        return MISS_ADMIT
 
     def _pop_farthest(self) -> int | None:
         """Pop and return the cached page with the farthest next read.

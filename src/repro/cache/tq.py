@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, MISS_BYPASS, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -111,18 +111,17 @@ class TQPolicy(CachePolicy):
             # Demoted pages become the low queue's coldest entries.
             self._low.move_to_end(page, last=False)
 
-    def _evict_one(self) -> None:
+    def _evict_one(self) -> int:
         if self._low:
-            self._low.popitem(last=False)
+            victim, _ = self._low.popitem(last=False)
         else:
-            self._high.popitem(last=False)
-        self.stats.evictions += 1
+            victim, _ = self._high.popitem(last=False)
+        return victim
 
     # --------------------------------------------------------------- access
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         hit = page in self._high or page in self._low
-        self.stats.record(request, hit)
         klass = self._classify(request)
         self._demote_stale(seq)
 
@@ -130,18 +129,18 @@ class TQPolicy(CachePolicy):
             # Re-queue according to the class of the *most recent* request.
             self._remove(page)
             self._enqueue(page, klass, seq)
-            return True
+            return HIT
 
         if klass == "recovery" and not self._cache_recovery_writes:
             # Hard-coded response: recovery writes are not worth caching.
-            self.stats.bypasses += 1
-            return False
+            return MISS_BYPASS
 
         if len(self) >= self.capacity:
-            self._evict_one()
+            victim = self._evict_one()
+            self._enqueue(page, klass, seq)
+            return AccessOutcome(False, admitted=True, evicted=(victim,))
         self._enqueue(page, klass, seq)
-        self.stats.admissions += 1
-        return False
+        return MISS_ADMIT
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

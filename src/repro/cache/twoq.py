@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
@@ -41,46 +41,44 @@ class TwoQPolicy(CachePolicy):
         self._a1out: OrderedDict[int, None] = OrderedDict()  # ghost FIFO (ids only)
         self._am: OrderedDict[int, None] = OrderedDict()     # main LRU
 
-    def _reclaim_for(self, page: int) -> None:
+    def _reclaim_for(self, page: int) -> int | None:
         """Free one frame, following the 2Q "reclaimfor" procedure."""
         if len(self) < self.capacity:
-            return
+            return None
         if len(self._a1in) > self._kin:
             victim, _ = self._a1in.popitem(last=False)
             self._a1out[victim] = None
             if len(self._a1out) > self._kout:
                 self._a1out.popitem(last=False)
         elif self._am:
-            self._am.popitem(last=False)
+            victim, _ = self._am.popitem(last=False)
         else:
             victim, _ = self._a1in.popitem(last=False)
             self._a1out[victim] = None
             if len(self._a1out) > self._kout:
                 self._a1out.popitem(last=False)
-        self.stats.evictions += 1
+        return victim
 
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         if page in self._am:
-            self.stats.record(request, True)
             self._am.move_to_end(page)
-            return True
+            return HIT
         if page in self._a1in:
             # 2Q leaves A1in hits in place (FIFO order unchanged).
-            self.stats.record(request, True)
-            return True
-        self.stats.record(request, False)
+            return HIT
         if page in self._a1out:
             # Remove the ghost entry first: reclaiming may itself push an A1in
             # victim into A1out and trim the ghost queue.
             del self._a1out[page]
-            self._reclaim_for(page)
+            victim = self._reclaim_for(page)
             self._am[page] = None
         else:
-            self._reclaim_for(page)
+            victim = self._reclaim_for(page)
             self._a1in[page] = None
-        self.stats.admissions += 1
-        return False
+        if victim is None:
+            return MISS_ADMIT
+        return AccessOutcome(False, admitted=True, evicted=(victim,))
 
     def contains(self, page: int) -> bool:
         return page in self._am or page in self._a1in

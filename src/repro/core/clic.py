@@ -28,7 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.cache.base import CachePolicy
+from repro.cache.base import HIT, MISS_ADMIT, MISS_BYPASS, AccessOutcome, CachePolicy
 from repro.core.config import CLICConfig
 from repro.core.grouping import project_hint_key
 from repro.core.hints import HintSet
@@ -162,7 +162,6 @@ class CLICPolicy(CachePolicy):
         if was_empty:
             self._push_heap_entry(hint_key)
         self._outqueue.remove(page)
-        self.stats.admissions += 1
 
     def _refresh_cached(self, page: int, seq: int, hint_key: tuple) -> None:
         """Update seq(p)/H(p) of a cached page, moving it between hint-set lists."""
@@ -181,20 +180,19 @@ class CLICPolicy(CachePolicy):
         if was_empty:
             self._push_heap_entry(hint_key)
 
-    def _evict(self, hint_key: tuple) -> None:
+    def _evict(self, hint_key: tuple) -> int:
         """Evict the oldest page of *hint_key*'s list into the outqueue."""
         lst = self._lists[hint_key]
         victim, _ = lst.popitem(last=False)
         meta = self._cached.pop(victim)
         self._outqueue.put(victim, meta.seq, meta.hint_key)
-        self.stats.evictions += 1
+        return victim
 
     # --------------------------------------------------------------- access
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         page = request.page
         hint_key = self._hint_key(request.hints)
         hit = page in self._cached
-        self.stats.record(request, hit)
 
         # --- Hint analysis (Section 3.1): detect read re-references using the
         # metadata remembered for cached pages and for outqueue pages.
@@ -214,18 +212,21 @@ class CLICPolicy(CachePolicy):
         # *previous* windows.
         if hit:
             self._refresh_cached(page, seq, hint_key)
+            outcome = HIT
         elif len(self._cached) < self._effective_capacity:
             self._admit(page, seq, hint_key)
+            outcome = MISS_ADMIT
         else:
             victim = self._peek_victim()
             if victim is not None and self._priorities.priority(hint_key) > victim[0]:
-                self._evict(victim[2])
+                evicted_page = self._evict(victim[2])
                 self._admit(page, seq, hint_key)
+                outcome = AccessOutcome(False, admitted=True, evicted=(evicted_page,))
             else:
                 # Do not cache p; remember its most recent request so that a
                 # quick read re-reference can still be detected.
                 self._outqueue.put(page, seq, hint_key)
-                self.stats.bypasses += 1
+                outcome = MISS_BYPASS
 
         # --- Window accounting (Section 3.2).  The request itself is counted
         # in the window that is now in progress; when it closes, priorities
@@ -234,7 +235,7 @@ class CLICPolicy(CachePolicy):
         if window_closed:
             self._rebuild_heap()
 
-        return hit
+        return outcome
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

@@ -36,10 +36,10 @@ cells describe it with plain picklable kwargs::
 from __future__ import annotations
 
 import abc
-import dataclasses
+import copy
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
-from repro.cache.base import CachePolicy, CacheStats, validate_capacity
+from repro.cache.base import AccessOutcome, CachePolicy
 from repro.cache.opt import OPTPolicy
 from repro.simulation.multiclient import partition_capacity
 
@@ -211,10 +211,12 @@ class ShardedCache(CachePolicy):
 
     Each request is routed to exactly one shard, which processes it with the
     request's original (global) sequence number; the other shards never see
-    it.  The facade's :attr:`stats` aggregate the shards', so the engine's
-    result bookkeeping works unchanged, and :meth:`shard_stats` exposes the
-    per-shard breakdown that :class:`~repro.simulation.metrics
-    .SimulationResult` surfaces as ``per_shard``.
+    it.  The facade returns the routed shard's :class:`AccessOutcome`
+    unchanged, so one outcome stream describes the whole cluster; the
+    per-shard breakdown surfaced as ``per_shard`` on results is rebuilt by
+    the replay loop's shard observer (:class:`~repro.simulation.observers
+    .ShardStatsObserver`), which routes each outcome with the cluster's own
+    router.
 
     The total ``capacity`` is split across shards with
     :func:`~repro.simulation.multiclient.partition_capacity` (any remainder
@@ -238,11 +240,9 @@ class ShardedCache(CachePolicy):
         policy_kwargs: Mapping[str, object] | None = None,
         page_span: int | None = None,
     ):
-        # No super().__init__(): ``stats`` is a read-only aggregating
-        # property here, which the base initializer would try to assign.
         from repro.cache.registry import create_policy
 
-        self._capacity = validate_capacity(capacity)
+        super().__init__(capacity)
         shards = _validate_shards(shards)
         self._router = make_router(router, shards, page_span=page_span)
         kwargs = dict(policy_kwargs or {})
@@ -272,24 +272,7 @@ class ShardedCache(CachePolicy):
     def offline(self) -> bool:  # type: ignore[override]
         return any(shard.offline for shard in self._shards)
 
-    @property
-    def stats(self) -> CacheStats:  # type: ignore[override]
-        """Aggregate of the shard stats (recomputed on access).
-
-        Shards record every request exactly once (requests route to exactly
-        one shard), so the aggregate satisfies the :class:`CachePolicy`
-        stats contract without double counting.
-        """
-        merged = CacheStats()
-        for shard in self._shards:
-            merged = merged.merge(shard.stats)
-        return merged
-
-    def shard_stats(self) -> tuple[CacheStats, ...]:
-        """Snapshot of each shard's stats (copies), in shard order."""
-        return tuple(dataclasses.replace(shard.stats) for shard in self._shards)
-
-    def access(self, request: IORequest, seq: int) -> bool:
+    def access(self, request: IORequest, seq: int) -> AccessOutcome:
         return self._shards[self._router.route(request)].access(request, seq)
 
     def contains(self, page: int) -> bool:
@@ -303,9 +286,24 @@ class ShardedCache(CachePolicy):
             yield from shard.cached_pages()
 
     def reset(self) -> None:
+        super().reset()
         for shard in self._shards:
             shard.reset()
         self._router.reset()
+
+    # --------------------------------------------------------- snapshotting
+    def snapshot(self) -> Mapping[str, object]:
+        """Delegate to the shards (each applies its own snapshot policy,
+        e.g. OPT shards carry the shared future-read index by reference)."""
+        return {
+            "shards": tuple(shard.snapshot() for shard in self._shards),
+            "router": copy.deepcopy(self._router),
+        }
+
+    def restore(self, state: Mapping[str, object]) -> None:
+        for shard, shard_state in zip(self._shards, state["shards"]):
+            shard.restore(shard_state)
+        self._router = copy.deepcopy(state["router"])
 
     # ------------------------------------------------------- offline support
     def prepare(self, requests: Sequence[IORequest], start_seq: int = 0) -> None:

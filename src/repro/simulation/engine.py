@@ -42,21 +42,26 @@ from __future__ import annotations
 import pickle
 import time
 import warnings
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import islice
+from math import gcd
 from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
 from repro.simulation.costmodel import CostModel
 from repro.simulation.metrics import (
-    RollingTracker,
     SimulationResult,
     SweepResult,
-    per_shard_stats,
     validate_rolling_window,
+)
+from repro.simulation.observers import (
+    CostObserver,
+    ReplayObserver,
+    RollingObserver,
+    StatsObserver,
+    shard_observer_for,
 )
 from repro.simulation.request import IORequest, RequestKind
 
@@ -150,13 +155,15 @@ class MultiPolicySimulator:
     request per policy.  Offline policies exposing ``build_read_index`` /
     ``adopt_read_index`` (OPT) additionally share one future-read index.
 
-    ``cost_model`` opts the replay into a second accounting pass: every
-    (request, hit/miss) outcome is priced against the model's device
-    profile (:mod:`repro.simulation.costmodel`) and each result carries the
-    run's :class:`~repro.simulation.costmodel.LatencyStats` (plus the
-    per-shard analytic breakdown for sharded clusters).  With the default
-    ``None`` the replay loop is the historical hit-ratio-only fast path,
-    unchanged.
+    All accounting is observers (:mod:`repro.simulation.observers`) over the
+    outcome stream the policies emit: a :class:`StatsObserver` per policy
+    always; a :class:`ShardStatsObserver` when the policy is a sharded
+    cluster; a :class:`CostObserver` when ``cost_model`` prices the replay;
+    a :class:`RollingObserver` when ``rolling_window`` opts into windowed
+    time series.  ``observer_factories`` attaches arbitrary extra observers:
+    each factory is called ``factory(policy, start_seq)`` once per policy
+    per run, and the caller keeps its own references to the instances it
+    built (the engine only drives them).
     """
 
     def __init__(
@@ -165,14 +172,15 @@ class MultiPolicySimulator:
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
+        observer_factories: Sequence[
+            Callable[[CachePolicy, int], ReplayObserver]
+        ] = (),
     ):
         self._policies = list(policies)
         self._track_per_client = track_per_client
         self._cost_model = cost_model
-        #: Opt-in windowed time series (:class:`RollingMetrics`): chunks are
-        #: split at window boundaries and each policy's stats are
-        #: snapshotted there, so the replay loop itself stays unchanged.
         self._rolling_window = validate_rolling_window(rolling_window)
+        self._observer_factories = tuple(observer_factories)
 
     @property
     def policies(self) -> list[CachePolicy]:
@@ -217,23 +225,46 @@ class MultiPolicySimulator:
         read_kind = RequestKind.READ
         chunk_size = self.CHUNK_SIZE
         cost_model = self._cost_model
-        accumulators = (
-            [cost_model.accumulator_for(policy) for policy in policies]
-            if cost_model
-            else None
-        )
         rolling = self._rolling_window
-        trackers = (
-            [RollingTracker(rolling, policy, start_seq) for policy in policies]
-            if rolling
-            else None
-        )
-        # Stats snapshot, so per-client numbers for the single-client fast
-        # path below count only what this run contributed.
-        before = [
-            (p.stats.read_requests, p.stats.read_hits, p.stats.write_requests, p.stats.write_hits)
-            for p in policies
-        ]
+
+        # One observer pipeline per policy.  Stats are always reconstructed
+        # (they are the result); everything else is opt-in.  Observers are
+        # fresh per run, so every result counts exactly this run.
+        stats_obs: list[StatsObserver] = []
+        shard_obs: list = []
+        cost_obs: list = []
+        rolling_obs: list = []
+        pipelines: list[list[ReplayObserver]] = []
+        for policy in policies:
+            pipeline: list[ReplayObserver] = []
+            observer = StatsObserver()
+            stats_obs.append(observer)
+            pipeline.append(observer)
+            shard = shard_observer_for(policy)
+            shard_obs.append(shard)
+            if shard is not None:
+                pipeline.append(shard)
+            cost = CostObserver(cost_model.accumulator_for(policy)) if cost_model else None
+            cost_obs.append(cost)
+            if cost is not None:
+                pipeline.append(cost)
+            roll = RollingObserver(rolling, start_seq) if rolling else None
+            rolling_obs.append(roll)
+            if roll is not None:
+                pipeline.append(roll)
+            for factory in self._observer_factories:
+                pipeline.append(factory(policy, start_seq))
+            pipelines.append(pipeline)
+
+        # Observers declaring a boundary interval get chunks aligned to it:
+        # splitting at the gcd of all intervals guarantees no chunk crosses a
+        # multiple of any individual interval.
+        boundary = 0
+        for pipeline in pipelines:
+            for observer in pipeline:
+                interval = observer.boundary_interval
+                if interval:
+                    boundary = gcd(boundary, interval)
 
         started = time.perf_counter()
         # client_id -> [read_requests, write_requests, read hits per policy,
@@ -245,8 +276,8 @@ class MultiPolicySimulator:
         # Streams from a single client (every standard trace) never pay that
         # bookkeeping: as long as only one client has been seen, the replay
         # loop lets ``map`` drive each policy through a whole chunk at C
-        # speed, and the client's counts are recovered from the policies' own
-        # counters afterwards.  The moment a second client appears (only
+        # speed, and the client's counts are recovered from the stats
+        # observers afterwards.  The moment a second client appears (only
         # possible at a chunk boundary, since each chunk is scanned before it
         # is replayed) the totals so far are attributed to the first client
         # and the per-request slow path takes over.
@@ -256,18 +287,17 @@ class MultiPolicySimulator:
         seq_base = start_seq
 
         def snapshot_counts() -> list:
-            stats0 = policies[0].stats
-            b0 = before[0]
+            stats0 = stats_obs[0]
             return [
-                stats0.read_requests - b0[0],
-                stats0.write_requests - b0[2],
-                [p.stats.read_hits - b[1] for p, b in zip(policies, before)],
-                [p.stats.write_hits - b[3] for p, b in zip(policies, before)],
+                stats0.read_requests,
+                stats0.write_requests,
+                [observer.read_hits for observer in stats_obs],
+                [observer.write_hits for observer in stats_obs],
             ]
 
         chunks = _iter_request_chunks(source, chunk_size)
-        if rolling:
-            chunks = _split_chunks_at_windows(chunks, rolling, start_seq)
+        if boundary:
+            chunks = _split_chunks_at_windows(chunks, boundary, start_seq)
         for chunk in chunks:
             if track and not multi_client:
                 chunk_clients = {request.client_id for request in chunk}
@@ -293,51 +323,33 @@ class MultiPolicySimulator:
                     else:
                         row[1] += 1
                         append_target(row[3])
-                if accumulators is None:
-                    for j in range(n):
-                        access = accessors[j]
-                        seq = seq_base
-                        for request, hits in zip(chunk, chunk_targets):
-                            if access(request, seq):
-                                hits[j] += 1
-                            seq += 1
-                else:
-                    for j in range(n):
-                        access = accessors[j]
-                        charge = accumulators[j].charge
-                        seq = seq_base
-                        for request, hits in zip(chunk, chunk_targets):
-                            hit = access(request, seq)
-                            if hit:
-                                hits[j] += 1
-                            charge(request, hit)
-                            seq += 1
-            elif accumulators is None:
-                seqs = range(seq_base, seq_base + len(chunk))
-                for access in accessors:
-                    deque(map(access, chunk, seqs), maxlen=0)
-            else:
-                # The opt-in cost-accounting pass: same replay order, but
-                # each hit/miss outcome is priced as it happens (seek-aware
-                # devices depend on the access order, so pricing cannot be
-                # deferred to the end of the run).
                 for j in range(n):
                     access = accessors[j]
-                    charge = accumulators[j].charge
                     seq = seq_base
-                    for request in chunk:
-                        charge(request, access(request, seq))
+                    outcomes = []
+                    append = outcomes.append
+                    for request, hits in zip(chunk, chunk_targets):
+                        outcome = access(request, seq)
+                        if outcome.hit:
+                            hits[j] += 1
+                        append(outcome)
                         seq += 1
+                    for observer in pipelines[j]:
+                        observer.on_chunk(chunk, seq_base, outcomes)
+            else:
+                # Sole-client fast path: ``map`` drives each policy through
+                # the whole chunk at C speed; the chunk's outcome list is
+                # then handed to every observer in one batched call.
+                seqs = range(seq_base, seq_base + len(chunk))
+                for j in range(n):
+                    outcomes = list(map(accessors[j], chunk, seqs))
+                    for observer in pipelines[j]:
+                        observer.on_chunk(chunk, seq_base, outcomes)
             seq_base += len(chunk)
-            if trackers is not None and seq_base % rolling == 0:
-                for tracker in trackers:
-                    tracker.boundary(seq_base)
+            for pipeline in pipelines:
+                for observer in pipeline:
+                    observer.on_chunk_end(seq_base)
 
-        if trackers is not None:
-            # Close the final (possibly partial) window; a no-op when the
-            # stream ended exactly on a boundary.
-            for tracker in trackers:
-                tracker.boundary(seq_base)
         if track and not multi_client and sole_client is not None:
             per_client[sole_client] = snapshot_counts()
         elapsed = time.perf_counter() - started
@@ -353,29 +365,36 @@ class MultiPolicySimulator:
                 )
                 for client_id, row in per_client.items()
             }
-            per_shard = per_shard_stats(policy)
+            stats = stats_obs[j].finalize()
+            # Back-compat: the deprecated ``policy.stats`` shim reports this
+            # run's accounting until the policy's next reset.
+            policy._stats_view = stats
+            shard = shard_obs[j]
+            per_shard = shard.finalize() if shard is not None else ()
             latency = None
             shard_latency: tuple = ()
-            if accumulators is not None:
-                latency = accumulators[j].finalize()
+            cost = cost_obs[j]
+            if cost is not None:
+                latency = cost.finalize()
                 if per_shard:
                     # Seek-aware cluster accumulators price each shard
                     # exactly; otherwise derive analytically (exact for
                     # position-independent devices).
-                    shard_latency = accumulators[j].shard_latencies() or (
+                    shard_latency = cost.shard_latencies() or (
                         cost_model.shard_latencies(per_shard)
                     )
+            roll = rolling_obs[j]
             results.append(
                 SimulationResult(
                     policy_name=policy.name,
                     capacity=policy.capacity,
-                    stats=policy.stats,
+                    stats=stats,
                     per_client=client_stats,
                     elapsed_seconds=elapsed,
                     per_shard=per_shard,
                     latency=latency,
                     shard_latency=shard_latency,
-                    rolling=trackers[j].finalize() if trackers is not None else None,
+                    rolling=roll.finalize() if roll is not None else None,
                 )
             )
         return results

@@ -11,12 +11,10 @@ from repro.simulation.costmodel import LatencyStats
 __all__ = [
     "RollingWindow",
     "RollingMetrics",
-    "RollingTracker",
     "SimulationResult",
     "SweepPoint",
     "SweepResult",
     "format_table",
-    "per_shard_stats",
     "validate_rolling_window",
 ]
 
@@ -154,73 +152,6 @@ class RollingMetrics:
             {"window": self.window_index(entry), **entry.as_dict()}
             for entry in self.windows
         ]
-
-
-def per_shard_stats(policy) -> tuple[CacheStats, ...]:
-    """Per-shard stats snapshot for sharded-cluster policies, else empty.
-
-    Both replay paths (the engine and :class:`CacheSimulator`) call this on
-    every policy when building results: anything exposing ``shard_stats()``
-    (:class:`~repro.simulation.cluster.ShardedCache`) gets its per-shard
-    breakdown surfaced as :attr:`SimulationResult.per_shard`.
-    """
-    shard_stats = getattr(policy, "shard_stats", None)
-    return shard_stats() if callable(shard_stats) else ()
-
-
-class RollingTracker:
-    """Builds one policy's :class:`RollingMetrics` from stats snapshots.
-
-    The replay loops (the engine and the single-policy simulator) call
-    :meth:`boundary` whenever they cross a window boundary (and once at
-    end-of-stream); the tracker diffs the policy's cumulative counters
-    against the previous snapshot, so it works for any policy without
-    touching the per-request hot path.
-    """
-
-    __slots__ = ("_window", "_policy", "_prev", "_start", "_windows")
-
-    def __init__(self, window: int, policy, start_seq: int):
-        self._window = window
-        self._policy = policy
-        self._prev = self._snapshot()
-        self._start = start_seq
-        self._windows: list[RollingWindow] = []
-
-    def _snapshot(self) -> tuple[int, int, int, int, int]:
-        stats = self._policy.stats
-        return (
-            stats.read_requests,
-            stats.read_hits,
-            stats.write_requests,
-            stats.write_hits,
-            stats.evictions,
-        )
-
-    def boundary(self, seq: int) -> None:
-        """Close the window ending at sequence number *seq* (exclusive)."""
-        if seq == self._start:
-            return
-        current = self._snapshot()
-        previous = self._prev
-        reads = current[0] - previous[0]
-        writes = current[2] - previous[2]
-        self._windows.append(
-            RollingWindow(
-                start=self._start,
-                requests=reads + writes,
-                read_requests=reads,
-                read_hits=current[1] - previous[1],
-                write_requests=writes,
-                write_hits=current[3] - previous[3],
-                evictions=current[4] - previous[4],
-            )
-        )
-        self._prev = current
-        self._start = seq
-
-    def finalize(self) -> RollingMetrics:
-        return RollingMetrics(window=self._window, windows=tuple(self._windows))
 
 
 @dataclass

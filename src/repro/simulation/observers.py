@@ -1,0 +1,430 @@
+"""Composable replay observers: all accounting, fed from one replay loop.
+
+Policies are pure kernels (:mod:`repro.cache.base`): ``access`` returns an
+:class:`~repro.cache.base.AccessOutcome` event and mutates nothing but
+replacement state.  Everything the simulation reports — hit/miss statistics,
+per-shard breakdowns, service-time pricing, rolling time series — is an
+observer over the outcome stream, attached by the single replay orchestrator
+(:class:`~repro.simulation.engine.MultiPolicySimulator`).
+
+The observer contract (:class:`ReplayObserver`):
+
+* :meth:`~ReplayObserver.on_outcome` — fold one ``(request, seq, outcome)``
+  event; the replay loop prefers the batched :meth:`~ReplayObserver
+  .on_chunk`, which observers override with fused loops for hot-path speed.
+* :meth:`~ReplayObserver.on_chunk_end` — the loop crossed a chunk boundary
+  at sequence number ``seq_end`` (exclusive).  Observers declaring a
+  :attr:`~ReplayObserver.boundary_interval` are guaranteed a call at every
+  multiple of it (the loop re-chunks the stream so no chunk crosses one).
+* :meth:`~ReplayObserver.merge` — absorb the observer of the *directly
+  following* replay segment, so segmented replays (``jobs=N`` work splits,
+  service-mode restarts) compose into one run's accounting.
+* :meth:`~ReplayObserver.finalize` — the accounting product.  Non-
+  destructive: safe to call more than once.
+
+Writing an observer: subclass :class:`ReplayObserver`, implement
+``on_outcome`` (override ``on_chunk`` only if profiling says so), ``merge``
+and ``finalize``, then attach instances via the simulators'
+``observer_factories`` hook.  Observers must not call back into the policy's
+``access`` and must not mutate requests or outcomes — many observers share
+one outcome stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cache.base import AccessOutcome, CacheStats
+
+if TYPE_CHECKING:  # imported for type annotations only
+    from repro.simulation.costmodel import CostAccumulator, LatencyStats
+    from repro.simulation.request import IORequest
+
+__all__ = [
+    "ReplayObserver",
+    "StatsObserver",
+    "ShardStatsObserver",
+    "CostObserver",
+    "RollingObserver",
+    "shard_observer_for",
+]
+
+
+class ReplayObserver(abc.ABC):
+    """Protocol for accounting fed from the replay loop's outcome stream."""
+
+    #: When not ``None``, the replay loop re-chunks the stream so a chunk
+    #: never crosses a multiple of this sequence-number interval, and
+    #: :meth:`on_chunk_end` therefore fires at every such multiple.
+    boundary_interval: int | None = None
+
+    @abc.abstractmethod
+    def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
+        """Fold one replayed request's outcome event."""
+
+    def on_chunk(
+        self,
+        requests: Sequence[IORequest],
+        seq_base: int,
+        outcomes: Sequence[AccessOutcome],
+    ) -> None:
+        """Fold one chunk of consecutive outcomes (requests[i] has sequence
+        number ``seq_base + i``).  Default: loop over :meth:`on_outcome`."""
+        on_outcome = self.on_outcome
+        seq = seq_base
+        for request, outcome in zip(requests, outcomes):
+            on_outcome(request, seq, outcome)
+            seq += 1
+
+    def on_chunk_end(self, seq_end: int) -> None:
+        """The replay crossed a chunk boundary; ``seq_end`` is exclusive."""
+
+    @abc.abstractmethod
+    def merge(self, other: "ReplayObserver") -> None:
+        """Absorb *other*, the observer of the directly following segment."""
+
+    @abc.abstractmethod
+    def finalize(self):
+        """Return the accounting product (non-destructive)."""
+
+
+class StatsObserver(ReplayObserver):
+    """Reconstructs :class:`CacheStats` from the outcome stream.
+
+    One counting rule for every policy: requests/hits split by read/write,
+    one admission per ``outcome.admitted``, one bypass per
+    ``outcome.bypassed``, ``len(outcome.evicted)`` evictions.  The counters
+    are public attributes so the replay loop can snapshot per-client totals
+    without paying a :class:`CacheStats` allocation mid-run.
+    """
+
+    __slots__ = (
+        "read_requests",
+        "read_hits",
+        "write_requests",
+        "write_hits",
+        "evictions",
+        "admissions",
+        "bypasses",
+    )
+
+    def __init__(self):
+        self.read_requests = 0
+        self.read_hits = 0
+        self.write_requests = 0
+        self.write_hits = 0
+        self.evictions = 0
+        self.admissions = 0
+        self.bypasses = 0
+
+    def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
+        if request.is_read:
+            self.read_requests += 1
+            if outcome.hit:
+                self.read_hits += 1
+        else:
+            self.write_requests += 1
+            if outcome.hit:
+                self.write_hits += 1
+        if outcome.admitted:
+            self.admissions += 1
+        if outcome.bypassed:
+            self.bypasses += 1
+        if outcome.evicted:
+            self.evictions += len(outcome.evicted)
+
+    def on_chunk(
+        self,
+        requests: Sequence[IORequest],
+        seq_base: int,
+        outcomes: Sequence[AccessOutcome],
+    ) -> None:
+        # Fused local-counter loop: this runs once per policy per chunk and
+        # is the whole accounting cost of the stats-only replay path.
+        rr = rh = wr = wh = ev = adm = byp = 0
+        for request, outcome in zip(requests, outcomes):
+            if request.is_read:
+                rr += 1
+                if outcome.hit:
+                    rh += 1
+            elif outcome.hit:
+                wh += 1
+            if outcome.admitted:
+                adm += 1
+            if outcome.bypassed:
+                byp += 1
+            if outcome.evicted:
+                ev += len(outcome.evicted)
+        self.read_requests += rr
+        self.read_hits += rh
+        self.write_requests += len(requests) - rr
+        self.write_hits += wh
+        self.evictions += ev
+        self.admissions += adm
+        self.bypasses += byp
+
+    def merge(self, other: "StatsObserver") -> None:
+        self.read_requests += other.read_requests
+        self.read_hits += other.read_hits
+        self.write_requests += other.write_requests
+        self.write_hits += other.write_hits
+        self.evictions += other.evictions
+        self.admissions += other.admissions
+        self.bypasses += other.bypasses
+
+    def finalize(self) -> CacheStats:
+        return CacheStats(
+            read_requests=self.read_requests,
+            read_hits=self.read_hits,
+            write_requests=self.write_requests,
+            write_hits=self.write_hits,
+            evictions=self.evictions,
+            admissions=self.admissions,
+            bypasses=self.bypasses,
+        )
+
+
+class ShardStatsObserver(ReplayObserver):
+    """Per-shard :class:`CacheStats` for sharded clusters.
+
+    Routes every outcome with the cluster's own router — after the access,
+    exactly like the sharded cost accumulator, so stateful routers have
+    already made their assignment and re-routing is a pure lookup.  The
+    cluster facade returns the routed shard's outcome unchanged, so
+    attributing the whole event to that shard reconstructs what the shard's
+    own accounting used to report.
+    """
+
+    __slots__ = ("_route", "_shards")
+
+    def __init__(self, cluster):
+        self._route = cluster.router.route
+        self._shards = [CacheStats() for _ in range(cluster.shard_count)]
+
+    def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
+        self._shards[self._route(request)].record_outcome(request, outcome)
+
+    def on_chunk(
+        self,
+        requests: Sequence[IORequest],
+        seq_base: int,
+        outcomes: Sequence[AccessOutcome],
+    ) -> None:
+        route = self._route
+        shards = self._shards
+        for request, outcome in zip(requests, outcomes):
+            shards[route(request)].record_outcome(request, outcome)
+
+    def merge(self, other: "ShardStatsObserver") -> None:
+        self._shards = [
+            mine.merge(theirs) for mine, theirs in zip(self._shards, other._shards)
+        ]
+
+    def finalize(self) -> tuple[CacheStats, ...]:
+        from dataclasses import replace
+
+        return tuple(replace(stats) for stats in self._shards)
+
+
+def shard_observer_for(policy) -> ShardStatsObserver | None:
+    """A :class:`ShardStatsObserver` for sharded clusters, else ``None``.
+
+    Duck-types the cluster surface (``router`` + ``shard_count``), matching
+    :meth:`CostModel.accumulator_for`, so any policy exposing it gets the
+    per-shard breakdown on its results.
+    """
+    router = getattr(policy, "router", None)
+    if (
+        router is not None
+        and hasattr(router, "route")
+        and getattr(policy, "shard_count", 0) >= 1
+    ):
+        return ShardStatsObserver(policy)
+    return None
+
+
+class CostObserver(ReplayObserver):
+    """Service-time pricing as an observer, wrapping a cost accumulator.
+
+    The accumulator (:class:`~repro.simulation.costmodel.CostAccumulator` or
+    its sharded variant) stays the pricing kernel; this observer feeds it
+    the ``(request, hit)`` series in stream order, which preserves the
+    seek-aware head walk bit for bit.  Segment merging folds the finalized
+    :class:`LatencyStats` — exact for position-independent devices; on seek
+    devices each segment's first access is priced at the nominal seek (the
+    same convention as any fresh run).
+    """
+
+    __slots__ = ("_accumulator", "_merged")
+
+    def __init__(self, accumulator: "CostAccumulator"):
+        self._accumulator = accumulator
+        self._merged: list[CostObserver] = []
+
+    def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
+        self._accumulator.charge(request, outcome.hit)
+
+    def on_chunk(
+        self,
+        requests: Sequence[IORequest],
+        seq_base: int,
+        outcomes: Sequence[AccessOutcome],
+    ) -> None:
+        charge = self._accumulator.charge
+        for request, outcome in zip(requests, outcomes):
+            charge(request, outcome.hit)
+
+    def merge(self, other: "CostObserver") -> None:
+        self._merged.append(other)
+
+    def finalize(self) -> "LatencyStats":
+        latency = self._accumulator.finalize()
+        for observer in self._merged:
+            latency = latency.merge(observer._accumulator.finalize())
+        return latency
+
+    def shard_latencies(self) -> tuple["LatencyStats", ...]:
+        """Per-shard latency breakdown (after :meth:`finalize`); empty for
+        single-device accumulators."""
+        own = self._accumulator.shard_latencies()
+        if not own or not self._merged:
+            return own
+        merged = list(own)
+        for observer in self._merged:
+            for index, shard in enumerate(observer._accumulator.shard_latencies()):
+                merged[index] = merged[index].merge(shard)
+        return tuple(merged)
+
+
+class RollingObserver(ReplayObserver):
+    """Windowed time series (:class:`RollingMetrics`) from outcome counts.
+
+    Windows are aligned to absolute sequence numbers (window *i* covers
+    ``[i*W, (i+1)*W)``); the first and last windows of a segment may be
+    partial, and :meth:`merge` rejoins halves split across segments — the
+    same mergeability contract :class:`RollingMetrics` pins.  Declares
+    ``boundary_interval = window`` so the replay loop aligns its chunks and
+    every boundary crossing reaches :meth:`on_chunk_end`.
+    """
+
+    __slots__ = ("_window", "_start", "_seq", "_counts", "_windows")
+
+    def __init__(self, window: int, start_seq: int = 0):
+        from repro.simulation.metrics import validate_rolling_window
+
+        self._window = validate_rolling_window(window)
+        self.boundary_interval = self._window
+        self._start = start_seq
+        self._seq = start_seq
+        # [read_requests, read_hits, write_requests, write_hits, evictions]
+        self._counts = [0, 0, 0, 0, 0]
+        self._windows: list = []
+
+    def _close(self, boundary: int) -> None:
+        from repro.simulation.metrics import RollingWindow
+
+        rr, rh, wr, wh, ev = self._counts
+        self._windows.append(
+            RollingWindow(
+                start=self._start,
+                requests=rr + wr,
+                read_requests=rr,
+                read_hits=rh,
+                write_requests=wr,
+                write_hits=wh,
+                evictions=ev,
+            )
+        )
+        self._counts = [0, 0, 0, 0, 0]
+        self._start = boundary
+
+    def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
+        boundary = seq - (seq % self._window)
+        if boundary > self._start:
+            self._close(boundary)
+        counts = self._counts
+        if request.is_read:
+            counts[0] += 1
+            if outcome.hit:
+                counts[1] += 1
+        else:
+            counts[2] += 1
+            if outcome.hit:
+                counts[3] += 1
+        if outcome.evicted:
+            counts[4] += len(outcome.evicted)
+        self._seq = seq + 1
+
+    def on_chunk(
+        self,
+        requests: Sequence[IORequest],
+        seq_base: int,
+        outcomes: Sequence[AccessOutcome],
+    ) -> None:
+        # The replay loop aligns chunks to ``boundary_interval``, so the
+        # outer loop normally runs exactly once; chunks from a direct driver
+        # may straddle boundaries and are split here.
+        window = self._window
+        length = len(requests)
+        offset = 0
+        while offset < length:
+            seq = seq_base + offset
+            boundary = seq - (seq % window)
+            if boundary > self._start:
+                self._close(boundary)
+            take = min(window - (seq % window), length - offset)
+            rr = rh = wr = wh = ev = 0
+            for index in range(offset, offset + take):
+                request = requests[index]
+                outcome = outcomes[index]
+                if request.is_read:
+                    rr += 1
+                    if outcome.hit:
+                        rh += 1
+                else:
+                    wr += 1
+                    if outcome.hit:
+                        wh += 1
+                if outcome.evicted:
+                    ev += len(outcome.evicted)
+            counts = self._counts
+            counts[0] += rr
+            counts[1] += rh
+            counts[2] += wr
+            counts[3] += wh
+            counts[4] += ev
+            offset += take
+            self._seq = seq + take
+
+    def on_chunk_end(self, seq_end: int) -> None:
+        if seq_end % self._window == 0 and seq_end > self._start:
+            self._close(seq_end)
+
+    def merge(self, other: "RollingObserver") -> None:
+        combined = self.finalize().merge(other.finalize())
+        self._windows = list(combined.windows)
+        self._counts = [0, 0, 0, 0, 0]
+        self._start = other._seq
+        self._seq = other._seq
+
+    def finalize(self):
+        from repro.simulation.metrics import RollingMetrics
+
+        windows = list(self._windows)
+        if self._seq > self._start:
+            rr, rh, wr, wh, ev = self._counts
+            from repro.simulation.metrics import RollingWindow
+
+            windows.append(
+                RollingWindow(
+                    start=self._start,
+                    requests=rr + wr,
+                    read_requests=rr,
+                    read_hits=rh,
+                    write_requests=wr,
+                    write_hits=wh,
+                    evictions=ev,
+                )
+            )
+        return RollingMetrics(window=self._window, windows=tuple(windows))

@@ -1,27 +1,29 @@
 """Trace-driven storage-server cache simulator (paper Section 6).
 
-The simulator assigns a sequence number to every arriving request, feeds the
-request to a single :class:`~repro.cache.base.CachePolicy`, and accumulates
-hit/miss statistics — overall and per storage client.  The paper's headline
-metric is the server cache *read hit ratio*: read hits / read requests.
+:class:`CacheSimulator` is the single-policy entry point: it numbers every
+arriving request with a sequence number, feeds it to one
+:class:`~repro.cache.base.CachePolicy`, and reports hit/miss statistics —
+overall and per storage client.  The paper's headline metric is the server
+cache *read hit ratio*: read hits / read requests.
 
-Offline policies (OPT) are given the whole request stream up front via
-``prepare``; the simulator materialises the stream into a list in that case.
+There is exactly **one** replay loop in the codebase —
+:class:`~repro.simulation.engine.MultiPolicySimulator` — and this class is a
+thin wrapper over it for the N=1 case.  All accounting (stats, per-shard
+breakdowns, service-time pricing, rolling series, custom observers) is the
+engine's observer pipeline (:mod:`repro.simulation.observers`), so the two
+entry points cannot drift: a :class:`CacheSimulator` run is *defined* as a
+one-policy engine run.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
-from repro.cache.base import CachePolicy, CacheStats
+from repro.cache.base import CachePolicy
 from repro.simulation.costmodel import CostModel
-from repro.simulation.metrics import (
-    RollingTracker,
-    SimulationResult,
-    per_shard_stats,
-    validate_rolling_window,
-)
+from repro.simulation.engine import MultiPolicySimulator
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.observers import ReplayObserver
 from repro.simulation.request import IORequest
 
 __all__ = ["CacheSimulator", "simulate"]
@@ -32,13 +34,16 @@ class CacheSimulator:
 
     ``cost_model`` opts the run into service-time pricing
     (:mod:`repro.simulation.costmodel`): the result's ``latency`` (and, for
-    sharded clusters, ``shard_latency``) fields are filled, identically to
-    the shared-replay engine's accounting pass.
+    sharded clusters, ``shard_latency``) fields are filled.
 
     ``rolling_window`` opts the run into windowed time-series accounting:
     the result's ``rolling`` field carries the per-window hit-ratio and
-    eviction series (:class:`~repro.simulation.metrics.RollingMetrics`),
-    identical to the engine's for the same stream and window.
+    eviction series (:class:`~repro.simulation.metrics.RollingMetrics`).
+
+    ``observer_factories`` attaches custom observers
+    (:class:`~repro.simulation.observers.ReplayObserver`): each factory is
+    called ``factory(policy, start_seq)`` once per run; keep your own
+    reference to the instance it returns to read it after the run.
     """
 
     def __init__(
@@ -47,11 +52,18 @@ class CacheSimulator:
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
+        observer_factories: Sequence[
+            Callable[[CachePolicy, int], ReplayObserver]
+        ] = (),
     ):
         self._policy = policy
-        self._track_per_client = track_per_client
-        self._cost_model = cost_model
-        self._rolling_window = validate_rolling_window(rolling_window)
+        self._engine = MultiPolicySimulator(
+            [policy],
+            track_per_client=track_per_client,
+            cost_model=cost_model,
+            rolling_window=rolling_window,
+            observer_factories=observer_factories,
+        )
 
     @property
     def policy(self) -> CachePolicy:
@@ -67,58 +79,7 @@ class CacheSimulator:
         ``start_seq`` sets the sequence number of the first request; requests
         are numbered consecutively from there.
         """
-        policy = self._policy
-        if policy.offline:
-            requests = list(requests)
-            policy.prepare(requests, start_seq)
-
-        per_client: dict[str, CacheStats] = {}
-        accumulator = (
-            self._cost_model.accumulator_for(policy) if self._cost_model else None
-        )
-        rolling = self._rolling_window
-        tracker = (
-            RollingTracker(rolling, policy, start_seq) if rolling is not None else None
-        )
-        started = time.perf_counter()
-        seq = start_seq
-        for request in requests:
-            if tracker is not None and seq % rolling == 0:
-                tracker.boundary(seq)
-            hit = policy.access(request, seq)
-            if self._track_per_client:
-                client_stats = per_client.get(request.client_id)
-                if client_stats is None:
-                    client_stats = CacheStats()
-                    per_client[request.client_id] = client_stats
-                client_stats.record(request, hit)
-            if accumulator is not None:
-                accumulator.charge(request, hit)
-            seq += 1
-        if tracker is not None:
-            tracker.boundary(seq)
-        elapsed = time.perf_counter() - started
-
-        per_shard = per_shard_stats(policy)
-        latency = None
-        shard_latency: tuple = ()
-        if accumulator is not None:
-            latency = accumulator.finalize()
-            if per_shard:
-                shard_latency = accumulator.shard_latencies() or (
-                    self._cost_model.shard_latencies(per_shard)
-                )
-        return SimulationResult(
-            policy_name=policy.name,
-            capacity=policy.capacity,
-            stats=policy.stats,
-            per_client=per_client,
-            elapsed_seconds=elapsed,
-            per_shard=per_shard,
-            latency=latency,
-            shard_latency=shard_latency,
-            rolling=tracker.finalize() if tracker is not None else None,
-        )
+        return self._engine.run(requests, start_seq)[0]
 
 
 def simulate(

@@ -16,8 +16,8 @@ from tests.conftest import rd
 class TestARCBasics:
     def test_hit_and_miss(self):
         arc = ARCPolicy(4)
-        assert arc.access(rd(1), 0) is False
-        assert arc.access(rd(1), 1) is True
+        assert not arc.access(rd(1), 0).hit
+        assert arc.access(rd(1), 1).hit
 
     def test_capacity_never_exceeded(self):
         arc = ARCPolicy(8)

@@ -4,10 +4,53 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cache.base import CachePolicy, CacheStats, validate_capacity
+from repro.cache.base import (
+    HIT,
+    MISS_ADMIT,
+    MISS_BYPASS,
+    AccessOutcome,
+    CachePolicy,
+    CacheStats,
+    validate_capacity,
+)
 from repro.cache.lru import LRUPolicy
+from repro.simulation.simulator import simulate
 
 from tests.conftest import rd, wr
+
+
+class TestAccessOutcome:
+    def test_truthiness_is_the_hit_flag(self):
+        assert bool(HIT)
+        assert not bool(MISS_ADMIT)
+        assert not bool(MISS_BYPASS)
+        assert bool(AccessOutcome(True, evicted=(3,)))
+
+    def test_equality_is_field_wise(self):
+        assert AccessOutcome(False, admitted=True) == MISS_ADMIT
+        assert AccessOutcome(False, admitted=True, evicted=(7,)) != MISS_ADMIT
+        assert hash(AccessOutcome(False, admitted=True)) == hash(MISS_ADMIT)
+
+    def test_comparison_with_bool_is_not_an_outcome_check(self):
+        # AccessOutcome is not a bool: compare ``.hit`` (or truthiness), never
+        # ``== True`` — this pins the NotImplemented fallback.
+        assert (HIT == True) is False  # noqa: E712
+
+    def test_singletons_carry_no_evictions(self):
+        for outcome in (HIT, MISS_ADMIT, MISS_BYPASS):
+            assert outcome.evicted == ()
+
+    def test_record_outcome_counting_rules(self):
+        stats = CacheStats()
+        stats.record_outcome(rd(1), MISS_ADMIT)
+        stats.record_outcome(rd(1), HIT)
+        stats.record_outcome(rd(2), MISS_BYPASS)
+        stats.record_outcome(wr(3), AccessOutcome(False, admitted=True, evicted=(1, 2)))
+        assert stats.requests == 4
+        assert stats.read_hits == 1
+        assert stats.admissions == 2
+        assert stats.bypasses == 1
+        assert stats.evictions == 2
 
 
 class TestValidateCapacity:
@@ -89,9 +132,16 @@ class TestCachePolicyBase:
         with pytest.raises(TypeError):
             CachePolicy(4)  # type: ignore[abstract]
 
-    def test_reset_clears_stats(self):
+    def test_reset_clears_state_and_stats_view(self):
         policy = LRUPolicy(2)
-        policy.access(rd(1), 0)
+        simulate(policy, [rd(1)])
         policy.reset()
-        assert policy.stats.requests == 0
+        with pytest.warns(DeprecationWarning):
+            assert policy.stats.requests == 0
         assert len(policy) == 0
+
+    def test_stats_shim_warns_and_mirrors_the_last_run(self):
+        policy = LRUPolicy(2)
+        result = simulate(policy, [rd(1), rd(1), wr(2)])
+        with pytest.warns(DeprecationWarning, match="CachePolicy.stats is deprecated"):
+            assert policy.stats == result.stats

@@ -15,8 +15,8 @@ from tests.conftest import rd, wr
 class TestLRU:
     def test_hit_and_miss(self):
         lru = LRUPolicy(2)
-        assert lru.access(rd(1), 0) is False
-        assert lru.access(rd(1), 1) is True
+        assert not lru.access(rd(1), 0).hit
+        assert lru.access(rd(1), 1).hit
 
     def test_evicts_least_recently_used(self):
         lru = LRUPolicy(2)
@@ -42,18 +42,17 @@ class TestLRU:
             lru.access(rd(seq % 10), seq)
             assert len(lru) <= 3
 
-    def test_eviction_and_admission_counters(self):
+    def test_eviction_and_admission_outcomes(self):
         lru = LRUPolicy(1)
-        lru.access(rd(1), 0)
-        lru.access(rd(2), 1)
-        assert lru.stats.admissions == 2
-        assert lru.stats.evictions == 1
+        first = lru.access(rd(1), 0)
+        second = lru.access(rd(2), 1)
+        assert first.admitted and not first.evicted
+        assert second.admitted and second.evicted == (1,)
 
     def test_sequential_scan_yields_no_hits(self):
         lru = LRUPolicy(10)
-        for seq in range(100):
-            assert lru.access(rd(seq), seq) is False
-        assert lru.stats.read_hit_ratio == 0.0
+        outcomes = [lru.access(rd(seq), seq) for seq in range(100)]
+        assert not any(outcome.hit for outcome in outcomes)
 
 
 class TestFIFO:
@@ -68,8 +67,8 @@ class TestFIFO:
 
     def test_hit_reporting(self):
         fifo = FIFOPolicy(2)
-        assert fifo.access(rd(7), 0) is False
-        assert fifo.access(rd(7), 1) is True
+        assert not fifo.access(rd(7), 0).hit
+        assert fifo.access(rd(7), 1).hit
 
     def test_capacity_never_exceeded(self):
         fifo = FIFOPolicy(4)
@@ -81,8 +80,8 @@ class TestFIFO:
 class TestClock:
     def test_hit_and_miss(self):
         clock = ClockPolicy(2)
-        assert clock.access(rd(1), 0) is False
-        assert clock.access(rd(1), 1) is True
+        assert not clock.access(rd(1), 0).hit
+        assert clock.access(rd(1), 1).hit
 
     def test_second_chance_protects_referenced_page(self):
         clock = ClockPolicy(2)

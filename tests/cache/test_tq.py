@@ -31,9 +31,9 @@ class TestClassification:
 
     def test_recovery_write_is_bypassed(self):
         tq = TQPolicy(4)
-        tq.access(wr(1, RECOVERY), 0)
+        outcome = tq.access(wr(1, RECOVERY), 0)
         assert not tq.contains(1)
-        assert tq.stats.bypasses == 1
+        assert outcome.bypassed and not outcome.admitted
 
     def test_recovery_write_cached_when_configured(self):
         tq = TQPolicy(4, cache_recovery_writes=True)
@@ -123,4 +123,4 @@ class TestEndToEnd:
         tq.access(wr(1, REPLACEMENT), 0)
         tq.reset()
         assert len(tq) == 0
-        assert tq.stats.requests == 0
+        assert not tq.contains(1)

@@ -18,8 +18,8 @@ from tests.conftest import rd
 class TestTwoQ:
     def test_hit_and_miss(self):
         twoq = TwoQPolicy(8)
-        assert twoq.access(rd(1), 0) is False
-        assert twoq.access(rd(1), 1) is True
+        assert not twoq.access(rd(1), 0).hit
+        assert twoq.access(rd(1), 1).hit
 
     def test_capacity_never_exceeded(self):
         twoq = TwoQPolicy(10)
@@ -62,8 +62,8 @@ class TestTwoQ:
 class TestCAR:
     def test_hit_and_miss(self):
         car = CARPolicy(4)
-        assert car.access(rd(1), 0) is False
-        assert car.access(rd(1), 1) is True
+        assert not car.access(rd(1), 0).hit
+        assert car.access(rd(1), 1).hit
 
     def test_capacity_never_exceeded(self):
         car = CARPolicy(8)
@@ -102,8 +102,8 @@ class TestCAR:
 class TestMQ:
     def test_hit_and_miss(self):
         mq = MQPolicy(4)
-        assert mq.access(rd(1), 0) is False
-        assert mq.access(rd(1), 1) is True
+        assert not mq.access(rd(1), 0).hit
+        assert mq.access(rd(1), 1).hit
 
     def test_capacity_never_exceeded(self):
         mq = MQPolicy(8)

@@ -48,14 +48,15 @@ class TestFigure4Policy:
     def test_admits_while_cache_not_full(self):
         policy = CLICPolicy(capacity=4, config=small_config())
         for seq, page in enumerate([1, 2, 3]):
-            assert policy.access(rd(page, COLD), seq) is False
+            outcome = policy.access(rd(page, COLD), seq)
+            assert not outcome.hit and outcome.admitted
         assert len(policy) == 3
         assert all(policy.contains(p) for p in (1, 2, 3))
 
     def test_hit_reports_true_and_updates_metadata(self):
         policy = CLICPolicy(capacity=4, config=small_config())
         policy.access(rd(1, COLD), 0)
-        assert policy.access(rd(1, HOT), 1) is True
+        assert policy.access(rd(1, HOT), 1).hit
         # Most recent request determines the page's hint set.
         assert policy._cached[1].hint_key == HOT.key()
         assert policy._cached[1].seq == 1
@@ -66,10 +67,10 @@ class TestFigure4Policy:
         policy = CLICPolicy(capacity=2, config=small_config(window_size=1000))
         policy.access(rd(1, COLD), 0)
         policy.access(rd(2, COLD), 1)
-        policy.access(rd(3, COLD), 2)
+        outcome = policy.access(rd(3, COLD), 2)
         assert policy.contains(1) and policy.contains(2)
         assert not policy.contains(3)
-        assert policy.stats.bypasses == 1
+        assert outcome.bypassed and not outcome.admitted
 
     def test_uncached_page_is_remembered_in_outqueue(self):
         policy = CLICPolicy(capacity=2, config=small_config(window_size=1000))
@@ -220,7 +221,6 @@ class TestEndToEndBehaviour:
             policy.access(rd(seq % 6, HOT), seq)
         policy.reset()
         assert len(policy) == 0
-        assert policy.stats.requests == 0
         assert policy.current_priorities() == {}
         assert len(policy.outqueue) == 0
 

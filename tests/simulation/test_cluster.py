@@ -115,11 +115,11 @@ class TestShardedCacheBasics:
 
     def test_aggregate_stats_equal_sum_of_shard_stats(self, rng):
         cluster = ShardedCache(capacity=40, policy="ARC", shards=3)
-        CacheSimulator(cluster).run(_trace(rng, n=2500))
+        result = CacheSimulator(cluster).run(_trace(rng, n=2500))
         merged = CacheStats()
-        for stats in cluster.shard_stats():
+        for stats in result.per_shard:
             merged = merged.merge(stats)
-        assert cluster.stats == merged
+        assert result.stats == merged
         assert merged.requests == 2500
 
     def test_reset_clears_every_shard(self, rng):
@@ -128,7 +128,7 @@ class TestShardedCacheBasics:
         assert len(cluster) > 0
         cluster.reset()
         assert len(cluster) == 0
-        assert cluster.stats == CacheStats()
+        assert all(len(shard) == 0 for shard in cluster.shards)
 
     def test_reset_also_clears_router_state(self, rng):
         """A reset cluster must route exactly like a freshly built one."""

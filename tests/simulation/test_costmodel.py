@@ -156,10 +156,13 @@ class TestAccumulator:
             model = CostModel(device)
             accumulator = model.accumulator()
             policy = LRUPolicy(capacity=10)
+            stats = CacheStats()
             for seq, request in enumerate(small_trace()):
-                accumulator.charge(request, policy.access(request, seq))
+                outcome = policy.access(request, seq)
+                accumulator.charge(request, outcome.hit)
+                stats.record_outcome(request, outcome)
             latency = accumulator.finalize()
-            assert latency.as_dict() == model.latency_from_stats(policy.stats).as_dict()
+            assert latency.as_dict() == model.latency_from_stats(stats).as_dict()
 
     def test_hdd_seeks_depend_on_access_pattern(self):
         model = CostModel("hdd", page_span=10_000)

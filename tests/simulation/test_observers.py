@@ -1,0 +1,244 @@
+"""Tests for the composable replay observers (the accounting layer)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.cache.lru import LRUPolicy
+from repro.simulation.cluster import ShardedCache
+from repro.simulation.costmodel import CostModel
+from repro.simulation.engine import MultiPolicySimulator
+from repro.simulation.observers import (
+    CostObserver,
+    ReplayObserver,
+    RollingObserver,
+    ShardStatsObserver,
+    StatsObserver,
+    shard_observer_for,
+)
+from repro.simulation.simulator import CacheSimulator, simulate
+
+from tests.conftest import rd, wr
+
+
+def _trace(n=2000, pages=120, seed=3):
+    rng = random.Random(seed)
+    return [
+        rd(rng.randrange(pages)) if rng.random() < 0.7 else wr(rng.randrange(pages))
+        for _ in range(n)
+    ]
+
+
+def _drive(observer: ReplayObserver, policy, stream, start_seq=0, chunk=256):
+    """Feed *observer* the outcome stream of *policy*, chunk-batched."""
+    for base in range(0, len(stream), chunk):
+        part = stream[base : base + chunk]
+        outcomes = [
+            policy.access(request, start_seq + base + i)
+            for i, request in enumerate(part)
+        ]
+        observer.on_chunk(part, start_seq + base, outcomes)
+        observer.on_chunk_end(start_seq + base + len(part))
+
+
+class TestStatsObserver:
+    def test_reconstructs_cache_stats(self):
+        stream = _trace()
+        policy = LRUPolicy(40)
+        observer = StatsObserver()
+        _drive(observer, policy, stream)
+        expected = simulate(LRUPolicy(40), stream).stats
+        assert observer.finalize() == expected
+
+    def test_on_outcome_and_on_chunk_agree(self):
+        stream = _trace(n=500)
+        a, b = StatsObserver(), StatsObserver()
+        pa, pb = LRUPolicy(30), LRUPolicy(30)
+        _drive(a, pa, stream)
+        for seq, request in enumerate(stream):
+            b.on_outcome(request, seq, pb.access(request, seq))
+        assert a.finalize() == b.finalize()
+
+    def test_merge_sums_segments(self):
+        stream = _trace()
+        cut = len(stream) // 3
+        policy = LRUPolicy(40)
+        first, second = StatsObserver(), StatsObserver()
+        _drive(first, policy, stream[:cut])
+        _drive(second, policy, stream[cut:], start_seq=cut)
+        first.merge(second)
+        whole = StatsObserver()
+        _drive(whole, LRUPolicy(40), stream)
+        assert first.finalize() == whole.finalize()
+
+
+class TestRollingObserver:
+    def test_matches_engine_rolling(self):
+        stream = _trace()
+        observer = RollingObserver(window=128, start_seq=0)
+        _drive(observer, LRUPolicy(40), stream, chunk=128)
+        expected = simulate(LRUPolicy(40), stream, rolling_window=128).rolling
+        assert observer.finalize() == expected
+
+    def test_unaligned_chunks_self_correct(self):
+        # Without engine alignment, per-request driving must still close
+        # windows at every boundary crossing.
+        stream = _trace(n=700)
+        policy = LRUPolicy(40)
+        observer = RollingObserver(window=100, start_seq=0)
+        for seq, request in enumerate(stream):
+            observer.on_outcome(request, seq, policy.access(request, seq))
+        expected = simulate(LRUPolicy(40), stream, rolling_window=100).rolling
+        assert observer.finalize() == expected
+
+    def test_merge_rejoins_split_segments(self):
+        stream = _trace()
+        cut = 777  # deliberately not a window multiple
+        policy = LRUPolicy(40)
+        first = RollingObserver(window=128, start_seq=0)
+        _drive(first, policy, stream[:cut], chunk=128)
+        second = RollingObserver(window=128, start_seq=cut)
+        _drive(second, policy, stream[cut:], start_seq=cut, chunk=128)
+        first.merge(second)
+        whole = simulate(LRUPolicy(40), stream, rolling_window=128).rolling
+        assert first.finalize() == whole
+
+    def test_finalize_is_non_destructive(self):
+        observer = RollingObserver(window=64, start_seq=0)
+        _drive(observer, LRUPolicy(20), _trace(n=200), chunk=64)
+        assert observer.finalize() == observer.finalize()
+
+
+class TestShardStatsObserver:
+    def test_matches_per_shard_result(self):
+        stream = _trace()
+        cluster = ShardedCache(capacity=36, policy="LRU", shards=3)
+        result = CacheSimulator(cluster).run(stream)
+        fresh = ShardedCache(capacity=36, policy="LRU", shards=3)
+        observer = shard_observer_for(fresh)
+        assert isinstance(observer, ShardStatsObserver)
+        _drive(observer, fresh, stream)
+        assert observer.finalize() == result.per_shard
+
+    def test_plain_policies_get_no_shard_observer(self):
+        assert shard_observer_for(LRUPolicy(10)) is None
+
+    def test_merge_is_element_wise(self):
+        stream = _trace()
+        cut = len(stream) // 2
+        cluster = ShardedCache(capacity=36, policy="LRU", shards=3)
+        first = shard_observer_for(cluster)
+        second = shard_observer_for(cluster)
+        _drive(first, cluster, stream[:cut])
+        _drive(second, cluster, stream[cut:], start_seq=cut)
+        first.merge(second)
+        whole = CacheSimulator(
+            ShardedCache(capacity=36, policy="LRU", shards=3)
+        ).run(stream)
+        assert first.finalize() == whole.per_shard
+
+
+class TestCostObserver:
+    def test_matches_engine_pricing(self):
+        stream = _trace()
+        model = CostModel("hdd", page_span=200)
+        policy = LRUPolicy(40)
+        observer = CostObserver(model.accumulator_for(policy))
+        _drive(observer, policy, stream)
+        expected = simulate(LRUPolicy(40), stream, cost_model=model).latency
+        assert observer.finalize().as_dict() == expected.as_dict()
+
+    def test_merge_is_exact_for_position_independent_devices(self):
+        stream = _trace()
+        cut = len(stream) // 2
+        model = CostModel("ssd")
+        policy = LRUPolicy(40)
+        first = CostObserver(model.accumulator_for(policy))
+        _drive(first, policy, stream[:cut])
+        second = CostObserver(model.accumulator_for(policy))
+        _drive(second, policy, stream[cut:], start_seq=cut)
+        first.merge(second)
+        whole = simulate(LRUPolicy(40), stream, cost_model=model).latency
+        assert first.finalize().as_dict() == whole.as_dict()
+
+
+class _EvictionLog(ReplayObserver):
+    """Example custom observer: the full eviction event log."""
+
+    def __init__(self):
+        self.events: list[tuple[int, int]] = []  # (seq, page)
+
+    def on_outcome(self, request, seq, outcome):
+        for page in outcome.evicted:
+            self.events.append((seq, page))
+
+    def merge(self, other):
+        self.events.extend(other.events)
+
+    def finalize(self):
+        return list(self.events)
+
+
+class TestObserverFactories:
+    def test_custom_observer_sees_every_outcome(self):
+        stream = _trace()
+        logs: list[_EvictionLog] = []
+
+        def factory(policy, start_seq):
+            log = _EvictionLog()
+            logs.append(log)
+            return log
+
+        result = CacheSimulator(LRUPolicy(40), observer_factories=[factory]).run(stream)
+        assert len(logs) == 1
+        assert len(logs[0].events) == result.stats.evictions
+        seqs = [seq for seq, _ in logs[0].events]
+        assert seqs == sorted(seqs)
+
+    def test_engine_builds_one_observer_per_policy(self):
+        stream = _trace(n=500)
+        built: list[tuple[object, int]] = []
+
+        def factory(policy, start_seq):
+            built.append((policy, start_seq))
+            return _EvictionLog()
+
+        policies = [LRUPolicy(20), LRUPolicy(40)]
+        MultiPolicySimulator(policies, observer_factories=[factory]).run(stream, start_seq=7)
+        assert [policy for policy, _ in built] == policies
+        assert all(start == 7 for _, start in built)
+
+
+class TestBoundaryAlignment:
+    def test_gcd_splitting_serves_multiple_intervals(self):
+        # A custom observer with a different boundary interval than rolling:
+        # both must see exact boundary crossings in one run.
+        stream = _trace(n=1000)
+        crossings: list[int] = []
+
+        class _Boundaries(ReplayObserver):
+            boundary_interval = 60
+
+            def on_outcome(self, request, seq, outcome):
+                pass
+
+            def on_chunk_end(self, seq_end):
+                if seq_end % 60 == 0:
+                    crossings.append(seq_end)
+
+            def merge(self, other):
+                pass
+
+            def finalize(self):
+                return None
+
+        result = CacheSimulator(
+            LRUPolicy(40),
+            rolling_window=100,
+            observer_factories=[lambda policy, start: _Boundaries()],
+        ).run(stream)
+        assert crossings == list(range(60, 1001, 60))
+        assert [w.start for w in result.rolling.windows] == list(range(0, 1000, 100))

@@ -57,7 +57,7 @@ class TestPolicyProperties:
             policy = policy_class(capacity)
         for seq, request in enumerate(stream):
             expected_hit = policy.contains(request.page)
-            assert policy.access(request, seq) == expected_hit
+            assert policy.access(request, seq).hit == expected_hit
 
     @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(stream=request_streams, capacity=capacities)

@@ -11,7 +11,15 @@ to:
 * **conservation** — hits + misses == requests, for reads and writes
   separately (and per client);
 * **determinism** — replaying the same stream through a same-configured
-  policy yields an identical :class:`SimulationResult`.
+  policy yields an identical :class:`SimulationResult`;
+* **outcome conservation** — the :class:`AccessOutcome` event stream is the
+  single source of truth: summing its admission/eviction events reproduces
+  the policy's cached-page count (``admissions - evictions == len(policy)``)
+  and the stats the replay reports;
+* **snapshot/restore** — ``snapshot()`` followed by ``restore()`` replays
+  the identical outcome tail (service-mode/crash-recovery contract);
+* **one replay loop** — :class:`CacheSimulator` is definitionally a
+  one-policy :class:`MultiPolicySimulator` run.
 
 SHARDED-wrapped variants and cost-model-priced runs are included: pricing
 must never change replay outcomes, and a cluster is held to the same laws as
@@ -27,6 +35,7 @@ from hypothesis import strategies as st
 from repro.cache.registry import available_policies, create_policy
 from repro.core.config import CLICConfig
 from repro.simulation.costmodel import CostModel
+from repro.simulation.engine import MultiPolicySimulator
 from repro.simulation.request import RequestKind
 from repro.simulation.simulator import CacheSimulator
 
@@ -156,6 +165,83 @@ class TestRegistryInvariants:
         }
         assert [s.as_dict() for s in first.per_shard] == [
             s.as_dict() for s in second.per_shard
+        ]
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_outcome_events_conserve_cached_pages(self, label, name, kwargs, stream):
+        """admissions - evictions == pages cached, from the event stream alone.
+
+        The seed accounting drifted here for policies with hit-path drops and
+        bypass-pushback (OPT) because counters were maintained ad hoc inside
+        each policy; outcomes-as-events make the law checkable uniformly.
+        """
+        if kwargs.get("router") == "client":
+            stream = _disjoint_pages(stream)
+        policy = _build(name, kwargs)
+        if policy.offline:
+            policy.prepare(stream, 0)
+        admissions = evictions = bypasses = 0
+        for seq, request in enumerate(stream):
+            outcome = policy.access(request, seq)
+            admissions += outcome.admitted
+            bypasses += outcome.bypassed
+            evictions += len(outcome.evicted)
+            assert admissions - evictions == len(policy)
+            assert not (outcome.admitted and outcome.bypassed)
+            if outcome.admitted:
+                assert policy.contains(request.page)
+        # The replay's stats observer must agree with the raw event stream.
+        result = _run(name, kwargs, stream)
+        assert result.stats.admissions == admissions
+        assert result.stats.evictions == evictions
+        assert result.stats.bypasses == bypasses
+        assert result.stats.admissions - result.stats.evictions == len(policy)
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_snapshot_restore_replays_identical_tail(self, label, name, kwargs, stream):
+        if kwargs.get("router") == "client":
+            stream = _disjoint_pages(stream)
+        cut = len(stream) // 2
+        policy = _build(name, kwargs)
+        if policy.offline:
+            policy.prepare(stream, 0)
+        for seq, request in enumerate(stream[:cut]):
+            policy.access(request, seq)
+        state = policy.snapshot()
+        pages_at_snapshot = sorted(policy.cached_pages())
+        first = [policy.access(r, cut + i) for i, r in enumerate(stream[cut:])]
+        policy.restore(state)
+        assert sorted(policy.cached_pages()) == pages_at_snapshot
+        second = [policy.access(r, cut + i) for i, r in enumerate(stream[cut:])]
+        assert first == second
+        # A snapshot is reusable: restoring twice replays the same tail again.
+        policy.restore(state)
+        third = [policy.access(r, cut + i) for i, r in enumerate(stream[cut:])]
+        assert first == third
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_single_policy_simulator_equals_engine(self, label, name, kwargs, stream):
+        """CacheSimulator is a one-policy engine run — results are identical."""
+        model = CostModel(device="hdd", page_span=64)
+        single = CacheSimulator(
+            _build(name, kwargs), cost_model=model, rolling_window=32
+        ).run(stream)
+        engine = MultiPolicySimulator(
+            [_build(name, kwargs)], cost_model=model, rolling_window=32
+        ).run(stream)[0]
+        assert single.stats == engine.stats
+        assert single.per_client == engine.per_client
+        assert single.per_shard == engine.per_shard
+        assert single.rolling == engine.rolling
+        assert single.latency.as_dict() == engine.latency.as_dict()
+        assert [s.as_dict() for s in single.shard_latency] == [
+            s.as_dict() for s in engine.shard_latency
         ]
 
     @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
