@@ -30,9 +30,21 @@ from repro.trace.cache import (
     default_trace_cache,
     set_default_trace_cache,
 )
+from repro.workloads.arrivals import ARRIVAL_KINDS
 from repro.workloads.phased import PHASE_PLANS
 
 __all__ = ["main", "build_parser", "render_result"]
+
+
+def _offered_loads(text: str) -> tuple[float, ...]:
+    """Parse ``--offered-load`` (e.g. ``0.5,0.9,1.2``) into positive floats."""
+    try:
+        loads = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid offered loads {text!r}")
+    if not loads or any(load <= 0.0 for load in loads):
+        raise argparse.ArgumentTypeError(f"offered loads must be > 0, got {text!r}")
+    return loads
 
 
 def _shard_counts(text: str) -> tuple[int, ...]:
@@ -112,6 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: write-through; write-back absorbs writes at cache speed)",
     )
     parser.add_argument(
+        "--offered-load",
+        type=_offered_loads,
+        default=None,
+        metavar="F1,F2,...",
+        dest="offered_loads",
+        help="comma-separated offered-load fractions swept by the load "
+        "experiment, as multiples of the modeled single-server capacity "
+        "(default: 0.25,0.5,0.75,0.9,1.1,1.5)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=ARRIVAL_KINDS,
+        default=None,
+        help="arrival process used by the load experiment "
+        "(default: poisson; see repro.workloads.arrivals)",
+    )
+    parser.add_argument(
         "--csv-dir",
         type=Path,
         default=None,
@@ -189,6 +218,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         settings_kwargs["write_policy"] = args.cost_model
     if args.phase_plan is not None:
         settings_kwargs["phase_plan"] = args.phase_plan
+    if args.offered_loads is not None:
+        settings_kwargs["offered_loads"] = args.offered_loads
+    if args.arrival is not None:
+        settings_kwargs["arrival"] = args.arrival
     settings = ExperimentSettings(**settings_kwargs)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

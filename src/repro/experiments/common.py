@@ -20,6 +20,7 @@ from repro.trace.records import Trace
 from repro.workloads.standard import clic_window_for, standard_trace
 
 if TYPE_CHECKING:  # imported for type annotations only (lazy at runtime)
+    from repro.simulation.queueing import QueueingModel
     from repro.workloads.phased import PhasePlan
 
 __all__ = [
@@ -71,6 +72,14 @@ class ExperimentSettings:
     #: so recovery times are meaningful; the TPC-C -> TPC-H switch plan's
     #: second phase is scan-dominated and bottoms out near zero.
     phase_plan: str = "churn"
+    #: Offered-load fractions swept by the ``load`` experiment, as multiples
+    #: of the reference single-server capacity (the unsharded first policy's
+    #: modeled throughput).  Spans under- to over-load so the saturation
+    #: knee lands inside the sweep.
+    offered_loads: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 1.1, 1.5)
+    #: Arrival-process kind used by the ``load`` experiment
+    #: (see :data:`repro.workloads.arrivals.ARRIVAL_KINDS`).
+    arrival: str = "poisson"
 
     def build_phase_plan(self) -> "PhasePlan":
         """The phase schedule these settings describe, scaled to the trace length."""
@@ -110,6 +119,27 @@ class ExperimentSettings:
         """
         return CostModel(
             device=device or self.device,
+            write_policy=self.write_policy,
+            page_span=page_span,
+        )
+
+    def queueing_model(
+        self, rate_rps: float, page_span: int | None = None
+    ) -> "QueueingModel":
+        """An open-loop queueing model at *rate_rps* under these settings.
+
+        Builds the arrival process named by :attr:`arrival` at the given
+        mean rate (seeded from :attr:`seed`) over the same device/write
+        policy as :meth:`cost_model`.  The ``load`` experiment rescales the
+        returned model to each offered-load fraction with
+        :meth:`~repro.simulation.queueing.QueueingModel.scaled`.
+        """
+        from repro.simulation.queueing import QueueingModel
+        from repro.workloads.arrivals import build_arrivals
+
+        return QueueingModel(
+            arrivals=build_arrivals(self.arrival, rate_rps, seed=self.seed),
+            device=self.device,
             write_policy=self.write_policy,
             page_span=page_span,
         )

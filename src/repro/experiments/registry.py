@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import ablations, adaptivity, cluster, hint_priorities, latency
-from repro.experiments import multiclient, noise, policies, schemas_table, topk
+from repro.experiments import load, multiclient, noise, policies, schemas_table, topk
 from repro.experiments import traces_table
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
@@ -100,6 +100,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         "extension",
         "Service-time cost model: per-policy mean/p50/p99 read latency and throughput.",
         latency.run_latency_experiment,
+    ),
+    "load": Experiment(
+        "load",
+        "extension",
+        "Open-loop queueing: delay/sojourn/utilization vs offered load, per policy.",
+        load.run_load_experiment,
     ),
     "abl-window": Experiment(
         "abl-window",

@@ -35,6 +35,7 @@ from repro.simulation.multiclient import (
     partition_capacity,
     remap_pages,
 )
+from repro.simulation.queueing import QueueingModel, QueueingObserver, QueueingStats
 from repro.simulation.request import IORequest, RequestKind, read_request, write_request
 from repro.simulation.simulator import CacheSimulator, simulate
 from repro.simulation.sweep import (
@@ -62,6 +63,9 @@ __all__ = [
     "PolicySpec",
     "RequestSource",
     "SweepCell",
+    "QueueingModel",
+    "QueueingObserver",
+    "QueueingStats",
     "RollingMetrics",
     "RollingWindow",
     "SimulationResult",

@@ -68,10 +68,13 @@ _MEAN_RANDOM_SEEK_FRACTION = 8.0 / 15.0
 
 # ----------------------------------------------------------------- histogram
 #: Geometric bucket upper bounds (microseconds) shared by every histogram:
-#: 64 buckets from 0.5us growing by 1.3x (~7.6s at the top), so one fixed
-#: bucketisation covers NVMe hits through worst-case HDD seeks.  Percentiles
-#: report the upper bound of the bucket the quantile falls in.
-HISTOGRAM_BUCKET_BOUNDS_US: tuple[float, ...] = tuple(
+#: an exact-zero bucket plus 64 buckets from 0.5us growing by 1.3x (~7.6s
+#: at the top), so one fixed bucketisation covers zero queueing delay and
+#: NVMe hits through worst-case HDD seeks.  Percentiles report the upper
+#: bound of the bucket the quantile falls in; the leading 0.0 bound keeps
+#: that exact for zero-latency samples (an idle queue's delay is 0.0, not
+#: "somewhere under 0.5us").
+HISTOGRAM_BUCKET_BOUNDS_US: tuple[float, ...] = (0.0,) + tuple(
     0.5 * 1.3**index for index in range(64)
 )
 _LAST_BUCKET = len(HISTOGRAM_BUCKET_BOUNDS_US) - 1
@@ -170,6 +173,11 @@ class LatencyStats:
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Return a new :class:`LatencyStats` aggregating *self* and *other*."""
+        if len(self.read_histogram) != len(other.read_histogram):
+            raise ValueError(
+                "cannot merge LatencyStats with different histogram sizes "
+                f"({len(self.read_histogram)} vs {len(other.read_histogram)})"
+            )
         return LatencyStats(
             read_count=self.read_count + other.read_count,
             total_read_us=self.total_read_us + other.total_read_us,
@@ -510,6 +518,31 @@ class CostAccumulator:
             if self._writes_seek:
                 self._latency.total_write_us += self._seek_to(request.page)
         return None
+
+    def price(self, request: "IORequest", hit: bool) -> float:
+        """The service time (us) :meth:`charge` would record for this event.
+
+        Same pricing rules, same seek-head walk (seek devices advance the
+        head exactly as :meth:`charge` does), but nothing is accumulated —
+        the caller owns the sample.  The queueing layer uses this to feed
+        per-request service times into its event clock; interleaving
+        ``price`` and ``charge`` calls on one accumulator would double-walk
+        the head, so each consumer owns its accumulator.
+        """
+        if request.kind is self._read_kind:
+            if hit:
+                return self._hit_us
+            if self._miss_const_us is not None:
+                return self._miss_const_us
+            profile = self._profile
+            return (
+                profile.read_base_us
+                + profile.read_transfer_us
+                + self._seek_to(request.page)
+            )
+        if self._writes_seek:
+            return self._write_const_us + self._seek_to(request.page)
+        return self._write_const_us
 
     def finalize(self) -> LatencyStats:
         """Fold the class counters into the histogram and return the stats."""

@@ -63,6 +63,7 @@ from repro.simulation.observers import (
     StatsObserver,
     shard_observer_for,
 )
+from repro.simulation.queueing import QueueingModel
 from repro.simulation.request import IORequest, RequestKind
 
 __all__ = [
@@ -172,6 +173,7 @@ class MultiPolicySimulator:
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
+        queueing_model: QueueingModel | None = None,
         observer_factories: Sequence[
             Callable[[CachePolicy, int], ReplayObserver]
         ] = (),
@@ -180,6 +182,10 @@ class MultiPolicySimulator:
         self._track_per_client = track_per_client
         self._cost_model = cost_model
         self._rolling_window = validate_rolling_window(rolling_window)
+        #: Optional open-loop queueing accounting
+        #: (:mod:`repro.simulation.queueing`): one QueueingObserver per
+        #: policy, fed from the same outcome stream as everything else.
+        self._queueing_model = queueing_model
         self._observer_factories = tuple(observer_factories)
 
     @property
@@ -234,6 +240,14 @@ class MultiPolicySimulator:
         shard_obs: list = []
         cost_obs: list = []
         rolling_obs: list = []
+        queueing_obs: list = []
+        queueing_model = self._queueing_model
+        # All policies replay identical chunks in sequence, so their
+        # queueing observers share one arrival tape: each chunk's arrival
+        # timestamps are drawn once and reused N times.
+        queueing_tape = (
+            queueing_model.tape(start_seq) if queueing_model is not None else None
+        )
         pipelines: list[list[ReplayObserver]] = []
         for policy in policies:
             pipeline: list[ReplayObserver] = []
@@ -252,6 +266,14 @@ class MultiPolicySimulator:
             rolling_obs.append(roll)
             if roll is not None:
                 pipeline.append(roll)
+            queueing = (
+                queueing_model.observer_for(policy, start_seq, tape=queueing_tape)
+                if queueing_model is not None
+                else None
+            )
+            queueing_obs.append(queueing)
+            if queueing is not None:
+                pipeline.append(queueing)
             for factory in self._observer_factories:
                 pipeline.append(factory(policy, start_seq))
             pipelines.append(pipeline)
@@ -384,6 +406,7 @@ class MultiPolicySimulator:
                         cost_model.shard_latencies(per_shard)
                     )
             roll = rolling_obs[j]
+            queueing = queueing_obs[j]
             results.append(
                 SimulationResult(
                     policy_name=policy.name,
@@ -395,6 +418,7 @@ class MultiPolicySimulator:
                     latency=latency,
                     shard_latency=shard_latency,
                     rolling=roll.finalize() if roll is not None else None,
+                    queueing=queueing.finalize() if queueing is not None else None,
                 )
             )
         return results
@@ -474,11 +498,18 @@ class SweepCell:
     experiment); ``None`` means the runner's stream.  Either may be a
     sequence or a lazy request source (e.g. a
     :class:`repro.trace.cache.TraceSpec`).
+
+    ``queueing`` overrides the runner's queueing model for this cell (used
+    by the ``load`` experiment, whose cells sweep offered load over one
+    stream); ``None`` means the runner's model (which may itself be
+    ``None`` — queueing off).  Cells replay their stream whole inside one
+    worker, so queueing stats are bit-identical at any ``jobs=`` count.
     """
 
     x: float
     specs: tuple[PolicySpec, ...]
     requests: RequestSource | None = None
+    queueing: QueueingModel | None = None
 
 
 # Per-worker copy of the runner's shared request stream (or the lazy source
@@ -515,17 +546,22 @@ def _run_cells(
     track_per_client: bool,
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
+    queueing_model: QueueingModel | None = None,
 ) -> list[list[SimulationResult]]:
     """Run *cells*, folding same-stream cells into one shared replay pass.
 
-    Cells are grouped by request-stream identity (equality for hashable lazy
-    sources): all their policies are independent, so one
-    :class:`MultiPolicySimulator` pass per distinct stream covers every cell
-    of that stream.  Used both by the serial path (with all cells) and
-    inside each worker process (with that worker's batch of cells).
+    Cells are grouped by (request-stream identity, queueing model) — stream
+    equality for hashable lazy sources: all their policies are independent,
+    so one :class:`MultiPolicySimulator` pass per distinct group covers
+    every cell of that group.  Cells with different queueing models (e.g.
+    different offered loads over one stream) need separate passes because
+    the queueing observer is per-run state.  Used both by the serial path
+    (with all cells) and inside each worker process (with that worker's
+    batch of cells).
     """
     groups: dict[object, list[int]] = {}
     streams: dict[object, RequestSource] = {}
+    queueings: dict[object, QueueingModel | None] = {}
     for index, cell in enumerate(cells):
         stream = cell.requests if cell.requests is not None else default_requests
         if stream is None:
@@ -533,12 +569,14 @@ def _run_cells(
                 "sweep cell has no request stream (set ParallelSweepRunner("
                 "requests=...) or SweepCell(requests=...))"
             )
-        key = _stream_group_key(stream)
+        queueing = cell.queueing if cell.queueing is not None else queueing_model
+        key = (_stream_group_key(stream), queueing)
         groups.setdefault(key, []).append(index)
         streams[key] = stream
+        queueings[key] = queueing
 
     outcomes: list[list[SimulationResult]] = [[] for _ in cells]
-    for stream_id, cell_indices in groups.items():
+    for group_key, cell_indices in groups.items():
         policies = [
             spec.build() for index in cell_indices for spec in cells[index].specs
         ]
@@ -547,7 +585,8 @@ def _run_cells(
             track_per_client=track_per_client,
             cost_model=cost_model,
             rolling_window=rolling_window,
-        ).run(streams[stream_id])
+            queueing_model=queueings[group_key],
+        ).run(streams[group_key])
         offset = 0
         for index in cell_indices:
             width = len(cells[index].specs)
@@ -590,10 +629,16 @@ def _run_cell_batch(
     track_per_client: bool,
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
+    queueing_model: QueueingModel | None = None,
 ) -> list[list[SimulationResult]]:
     """Worker entry point: run one batch of cells against the worker stream."""
     return _run_cells(
-        cells, _WORKER_REQUESTS, track_per_client, cost_model, rolling_window
+        cells,
+        _WORKER_REQUESTS,
+        track_per_client,
+        cost_model,
+        rolling_window,
+        queueing_model,
     )
 
 
@@ -613,6 +658,7 @@ class ParallelSweepRunner:
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
+        queueing: QueueingModel | None = None,
     ):
         self._requests = requests
         self._jobs = 1 if jobs is None else int(jobs)
@@ -627,6 +673,12 @@ class ParallelSweepRunner:
         #: its stream whole inside one worker, so the series are complete
         #: and identical at any job count).
         self._rolling_window = validate_rolling_window(rolling_window)
+        #: Optional open-loop queueing on every cell's replay (a frozen
+        #: picklable value object, so it ships to workers with the cells;
+        #: per-cell ``SweepCell.queueing`` overrides it).  Arrival clocks
+        #: and queue state are deterministic functions of the stream, so
+        #: ``jobs=1`` and ``jobs=N`` produce identical queueing stats.
+        self._queueing = queueing
 
     def run(self, cells: Iterable[SweepCell], parameter: str) -> SweepResult:
         cells = list(cells)
@@ -672,6 +724,7 @@ class ParallelSweepRunner:
             self._track_per_client,
             self._cost_model,
             self._rolling_window,
+            self._queueing,
         )
 
     def _run_parallel(
@@ -699,6 +752,7 @@ class ParallelSweepRunner:
                     self._track_per_client,
                     self._cost_model,
                     self._rolling_window,
+                    self._queueing,
                 )
                 for batch in batches
             ]

@@ -7,6 +7,7 @@ from typing import Mapping, Sequence
 
 from repro.cache.base import CacheStats
 from repro.simulation.costmodel import LatencyStats
+from repro.simulation.queueing import QueueingStats
 
 __all__ = [
     "RollingWindow",
@@ -173,6 +174,12 @@ class SimulationResult:
     ``rolling`` is filled when the replay opted into windowed time-series
     accounting (``rolling_window=``): the per-window hit-ratio/eviction
     series (:class:`RollingMetrics`), bit-identical at any ``--jobs``.
+
+    ``queueing`` is filled when the replay opted into open-loop queueing
+    (``queueing_model=``): queueing-delay / sojourn-time / utilization
+    accounting under the model's arrival process
+    (:class:`~repro.simulation.queueing.QueueingStats`).  ``None`` for
+    closed-loop runs.
     """
 
     policy_name: str
@@ -184,6 +191,7 @@ class SimulationResult:
     latency: LatencyStats | None = None
     shard_latency: tuple[LatencyStats, ...] = ()
     rolling: RollingMetrics | None = None
+    queueing: QueueingStats | None = None
 
     @property
     def read_hit_ratio(self) -> float:
@@ -316,6 +324,8 @@ class SimulationResult:
         if self.shard_latency:
             row["hottest_shard_penalty"] = self.hottest_shard_penalty
             row["cluster_throughput_rps"] = self.cluster_throughput_rps
+        if self.queueing is not None:
+            row.update(self.queueing.report_columns())
         return row
 
     def __str__(self) -> str:
@@ -383,6 +393,9 @@ class SweepResult:
                 latency = point.result.effective_latency
                 if latency is not None:
                     row.update(latency.report_columns())
+                queueing = point.result.queueing
+                if queueing is not None:
+                    row.update(queueing.report_columns())
                 rows.append(row)
         return rows
 

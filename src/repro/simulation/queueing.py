@@ -1,0 +1,825 @@
+"""Open-loop queueing simulation: latency under offered load.
+
+The cost model (:mod:`repro.simulation.costmodel`) prices each request in
+isolation — a *closed-loop* view with no contention.  This module adds the
+*open-loop* view: requests arrive on their own clock (an
+:class:`~repro.workloads.arrivals.ArrivalProcess`), each storage shard is
+an FCFS queue in front of ``servers_per_shard`` servers, and a request's
+latency is its **sojourn time** — the queueing delay it spends waiting for
+a free server plus the service time the cost model already charges.  As
+offered load approaches a shard's service capacity, delays blow up: the
+saturation knee the ``load`` experiment sweeps.
+
+The simulation is event-driven but needs no event loop: with FCFS service
+and arrival-ordered admission, each arrival is resolved by the Lindley
+recursion ``start = max(arrival, earliest_free_server)``.  All event
+arithmetic runs on an **integer nanosecond** clock: integer addition and
+``max`` are exact and associative, so totals never depend on chunk
+boundaries, worker counts, or whether the vectorised fast path below is
+taken — results are bit-identical across processes and ``jobs=`` counts
+by construction, not by accumulation-order discipline.
+
+Two accounting identities replace per-event integral bookkeeping: the
+fully drained number-in-system integral equals ``sum(sojourn_i)``
+exactly, and the integral cut at the last arrival ``T`` (the ``L``
+numerator of Little's law) is ``sum(sojourn_i) - sum(max(0, d_i - T))``
+over departure times ``d_i`` — so the hot loop only records departures.
+
+When numpy is available, single-server position-independent replays (the
+whole default ``load`` sweep) run the Lindley recursion vectorised per
+chunk: with service prefix sums ``S_i`` the recursion unrolls to
+``depart_i = S_i + max(busy_0, max_{j<=i}(t_j - S_{j-1}))`` — a cumsum
+plus a running maximum, exact in ``int64``.  The scalar fallback produces
+the same integers bit for bit; numpy is an accelerator, never a
+dependency.
+
+It is packaged as a :class:`ReplayObserver` (:class:`QueueingObserver`):
+the replay loop feeds it the outcome stream, it prices each outcome with
+its **own** cost accumulators (one per shard, so seek devices keep one
+head per shard exactly like :class:`~repro.simulation.costmodel
+.ShardedCostAccumulator`) and never touches the policy or the requests —
+attaching it cannot change hit/miss stats or service-time accounting.
+Sharded clusters are re-routed with the cluster's own router, matching
+:class:`~repro.simulation.observers.ShardStatsObserver`.  Observers of
+one replay run share an :class:`arrival tape <_ArrivalTape>`: the engine
+feeds every policy identical chunks in order, so the chunk's arrival
+timestamps are drawn once and reused by all policies.
+
+Segment merging (``merge``) follows the :class:`~repro.simulation
+.observers.CostObserver` convention: the arrival clock continues exactly
+(arrival times are absolute functions of the sequence number), but each
+segment's queues start idle — the same "fresh run" approximation the cost
+observer uses for its seek head.  Whole-stream replays (every sweep cell
+runs inside one worker) never merge, so the ``load`` experiment is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
+from heapq import heapreplace
+from typing import TYPE_CHECKING, Sequence
+
+try:  # optional acceleration; the scalar path is bit-identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+from repro.simulation.costmodel import (
+    HISTOGRAM_BUCKET_BOUNDS_US,
+    WRITE_POLICIES,
+    CostModel,
+    DeviceProfile,
+    make_device_profile,
+)
+from repro.simulation.cluster import HashRouter
+from repro.simulation.observers import ReplayObserver
+from repro.simulation.request import RequestKind, read_request, write_request
+from repro.workloads.arrivals import ArrivalProcess
+
+if TYPE_CHECKING:  # imported for type annotations only
+    from repro.cache.base import AccessOutcome, CachePolicy
+    from repro.simulation.request import IORequest
+
+__all__ = [
+    "QueueingModel",
+    "QueueingObserver",
+    "QueueingStats",
+]
+
+_LAST_BUCKET = len(HISTOGRAM_BUCKET_BOUNDS_US) - 1
+#: The shared bucket bounds on the integer nanosecond clock.  Strictly
+#: increasing (the bounds grow 1.3x from 500ns), so bucketisation by
+#: ``bisect_left`` over integers matches the microsecond convention.
+_BOUNDS_NS: tuple[int, ...] = tuple(
+    int(bound * 1000.0 + 0.5) for bound in HISTOGRAM_BUCKET_BOUNDS_US
+)
+_BOUNDS_NS_ARRAY = None if _np is None else _np.array(_BOUNDS_NS, dtype=_np.int64)
+
+#: Throwaway requests used to probe a device's constant price classes.
+_PROBE_READ = read_request(page=0)
+_PROBE_WRITE = write_request(page=0)
+
+
+def _to_ns(latency_us: float) -> int:
+    """A microsecond service/arrival time on the integer nanosecond clock."""
+    return int(latency_us * 1000.0 + 0.5)
+
+
+def _histogram_percentile(histogram: Sequence[int], count: int, quantile: float) -> float:
+    """Bucket-bound quantile, same convention as ``LatencyStats``: the upper
+    bound of the bucket the quantile falls in; 0.0 with nothing recorded."""
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    if count == 0:
+        return 0.0
+    rank = quantile * count
+    cumulative = 0
+    for index, bucket in enumerate(histogram):
+        cumulative += bucket
+        if cumulative >= rank and bucket:
+            return HISTOGRAM_BUCKET_BOUNDS_US[index]
+    return HISTOGRAM_BUCKET_BOUNDS_US[_LAST_BUCKET]
+
+
+def _fresh_histogram() -> list[int]:
+    return [0] * len(HISTOGRAM_BUCKET_BOUNDS_US)
+
+
+@dataclass
+class QueueingStats:
+    """Queueing accounting for one simulation run of one policy.
+
+    Times are integer nanoseconds on the arrival clock (0 = stream start);
+    every reporting accessor converts to microseconds.  ``servers`` is the
+    fleet total (shards x servers per shard).  The two histograms share
+    the cost model's bucketisation
+    (:data:`~repro.simulation.costmodel.HISTOGRAM_BUCKET_BOUNDS_US`),
+    whose leading exact-zero bucket keeps "no queueing" reporting as 0.0.
+
+    The fully drained number-in-system integral is identically
+    ``total_sojourn_ns`` (work conservation — every request contributes
+    exactly its sojourn to the area under ``N(t)``);
+    ``area_at_last_arrival_ns`` is the same integral cut at the last
+    arrival, the ``L`` numerator of Little's law over the observed window.
+    """
+
+    request_count: int = 0
+    servers: int = 1
+    total_delay_ns: int = 0
+    total_sojourn_ns: int = 0
+    total_service_ns: int = 0
+    first_arrival_ns: int = 0
+    last_arrival_ns: int = 0
+    last_departure_ns: int = 0
+    area_at_last_arrival_ns: int = 0
+    delay_histogram: list[int] = field(default_factory=_fresh_histogram)
+    sojourn_histogram: list[int] = field(default_factory=_fresh_histogram)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def total_delay_us(self) -> float:
+        return self.total_delay_ns / 1000.0
+
+    @property
+    def total_sojourn_us(self) -> float:
+        return self.total_sojourn_ns / 1000.0
+
+    @property
+    def total_service_us(self) -> float:
+        return self.total_service_ns / 1000.0
+
+    @property
+    def first_arrival_us(self) -> float:
+        return self.first_arrival_ns / 1000.0
+
+    @property
+    def last_arrival_us(self) -> float:
+        return self.last_arrival_ns / 1000.0
+
+    @property
+    def last_departure_us(self) -> float:
+        return self.last_departure_ns / 1000.0
+
+    @property
+    def area_at_last_arrival_us(self) -> float:
+        return self.area_at_last_arrival_ns / 1000.0
+
+    @property
+    def mean_queue_delay_us(self) -> float:
+        if self.request_count == 0:
+            return 0.0
+        return self.total_delay_ns / self.request_count / 1000.0
+
+    @property
+    def mean_sojourn_us(self) -> float:
+        if self.request_count == 0:
+            return 0.0
+        return self.total_sojourn_ns / self.request_count / 1000.0
+
+    @property
+    def mean_service_us(self) -> float:
+        if self.request_count == 0:
+            return 0.0
+        return self.total_service_ns / self.request_count / 1000.0
+
+    def delay_percentile(self, quantile: float) -> float:
+        return _histogram_percentile(self.delay_histogram, self.request_count, quantile)
+
+    def sojourn_percentile(self, quantile: float) -> float:
+        return _histogram_percentile(
+            self.sojourn_histogram, self.request_count, quantile
+        )
+
+    @property
+    def p50_queue_delay_us(self) -> float:
+        return self.delay_percentile(0.50)
+
+    @property
+    def p99_queue_delay_us(self) -> float:
+        return self.delay_percentile(0.99)
+
+    @property
+    def p50_sojourn_us(self) -> float:
+        return self.sojourn_percentile(0.50)
+
+    @property
+    def p99_sojourn_us(self) -> float:
+        return self.sojourn_percentile(0.99)
+
+    @property
+    def arrival_rate_rps(self) -> float:
+        """Measured arrival rate over the observed window (requests/second)."""
+        if self.request_count == 0 or self.last_arrival_ns <= 0:
+            return 0.0
+        return self.request_count / self.last_arrival_ns * 1e9
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the fleet's servers busy until the last departure."""
+        if self.request_count == 0 or self.last_departure_ns <= 0:
+            return 0.0
+        return self.total_service_ns / (self.servers * self.last_departure_ns)
+
+    @property
+    def mean_in_system(self) -> float:
+        """Time-average number of requests in the system up to the last
+        arrival — the ``L`` of Little's law (``L = lambda W``)."""
+        if self.request_count == 0 or self.last_arrival_ns <= 0:
+            return 0.0
+        return self.area_at_last_arrival_ns / self.last_arrival_ns
+
+    # ------------------------------------------------------------ composition
+    def merge(self, other: "QueueingStats") -> "QueueingStats":
+        """Aggregate two segments (or shards) into one stats object.
+
+        Counts, sums, histograms and areas add (exactly — everything is an
+        integer); the window is the union.  Segment merges inherit the
+        idle-at-segment-start convention of the producing observers (see
+        the module docstring).
+        """
+        if self.servers != other.servers:
+            raise ValueError(
+                f"cannot merge QueueingStats with different server counts "
+                f"({self.servers} vs {other.servers})"
+            )
+        if len(self.delay_histogram) != len(other.delay_histogram):
+            raise ValueError(
+                "cannot merge QueueingStats with different histogram sizes "
+                f"({len(self.delay_histogram)} vs {len(other.delay_histogram)})"
+            )
+        if self.request_count == 0:
+            first_arrival = other.first_arrival_ns
+        elif other.request_count == 0:
+            first_arrival = self.first_arrival_ns
+        else:
+            first_arrival = min(self.first_arrival_ns, other.first_arrival_ns)
+        return QueueingStats(
+            request_count=self.request_count + other.request_count,
+            servers=self.servers,
+            total_delay_ns=self.total_delay_ns + other.total_delay_ns,
+            total_sojourn_ns=self.total_sojourn_ns + other.total_sojourn_ns,
+            total_service_ns=self.total_service_ns + other.total_service_ns,
+            first_arrival_ns=first_arrival,
+            last_arrival_ns=max(self.last_arrival_ns, other.last_arrival_ns),
+            last_departure_ns=max(self.last_departure_ns, other.last_departure_ns),
+            area_at_last_arrival_ns=(
+                self.area_at_last_arrival_ns + other.area_at_last_arrival_ns
+            ),
+            delay_histogram=[
+                a + b for a, b in zip(self.delay_histogram, other.delay_histogram)
+            ],
+            sojourn_histogram=[
+                a + b for a, b in zip(self.sojourn_histogram, other.sojourn_histogram)
+            ],
+        )
+
+    def report_columns(self) -> dict:
+        """The queueing columns every row-level surface emits, next to the
+        cost model's service-time columns."""
+        return {
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "mean_queue_delay_us": self.mean_queue_delay_us,
+            "p50_queue_delay_us": self.p50_queue_delay_us,
+            "p99_queue_delay_us": self.p99_queue_delay_us,
+            "p50_sojourn_us": self.p50_sojourn_us,
+            "p99_sojourn_us": self.p99_sojourn_us,
+            "utilization": self.utilization,
+        }
+
+    def as_dict(self) -> dict:
+        row = self.report_columns()
+        row["requests"] = self.request_count
+        row["servers"] = self.servers
+        row["mean_sojourn_us"] = self.mean_sojourn_us
+        row["mean_service_us"] = self.mean_service_us
+        row["last_departure_us"] = self.last_departure_us
+        return row
+
+
+@dataclass(frozen=True)
+class QueueingModel:
+    """Picklable, hashable configuration of one open-loop queueing run.
+
+    Carries the arrival process plus the cost-model *parameters* (not a
+    :class:`CostModel` instance — those are mutable), so sweep cells can
+    hash and ship it to worker processes exactly like a
+    :class:`~repro.trace.cache.TraceSpec`.  Each shard of a sharded
+    cluster gets ``servers_per_shard`` servers and its own device (and,
+    for seek devices, its own head); an unsharded policy is one shard.
+    """
+
+    arrivals: ArrivalProcess
+    device: str | DeviceProfile = "ssd"
+    write_policy: str = "write-through"
+    page_span: int | None = None
+    servers_per_shard: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arrivals, ArrivalProcess):
+            raise TypeError(
+                f"arrivals must be an ArrivalProcess, got {type(self.arrivals).__name__}"
+            )
+        if self.servers_per_shard < 1:
+            raise ValueError(
+                f"servers_per_shard must be >= 1, got {self.servers_per_shard}"
+            )
+        if self.write_policy not in WRITE_POLICIES:
+            raise ValueError(
+                f"unknown write policy {self.write_policy!r}; available: {WRITE_POLICIES}"
+            )
+        make_device_profile(self.device)  # validate the device name eagerly
+
+    def cost_model(self) -> CostModel:
+        """A fresh service-time pricer with this model's parameters."""
+        return CostModel(
+            device=self.device,
+            write_policy=self.write_policy,
+            page_span=self.page_span,
+        )
+
+    def scaled(self, factor: float) -> "QueueingModel":
+        """The same model with the offered load dialed by *factor*."""
+        return replace(self, arrivals=self.arrivals.scaled(factor))
+
+    def tape(self, start_seq: int = 0) -> "_ArrivalTape":
+        """An arrival tape all observers of one replay run should share."""
+        return _ArrivalTape(self.arrivals, start_seq)
+
+    def observer_for(
+        self,
+        policy: "CachePolicy",
+        start_seq: int = 0,
+        tape: "_ArrivalTape | None" = None,
+    ) -> "QueueingObserver":
+        return QueueingObserver(self, policy, start_seq, tape=tape)
+
+
+class _ArrivalTape:
+    """Per-run cache of each chunk's arrival/request columns.
+
+    The replay engine feeds every policy the same chunks in sequence, so
+    all :class:`QueueingObserver` instances of one run share one arrival
+    clock: the first observer to see a chunk materialises its columns —
+    arrival timestamps on the integer nanosecond clock, plus which
+    requests are reads — and the rest reuse them.  Sequence-indexed
+    arrival processes make the sharing exact; observers created without
+    an explicit tape get a private one and behave identically.
+    """
+
+    __slots__ = (
+        "_times",
+        "_next_seq",
+        "_chunk_seq",
+        "_arrivals_ns",
+        "_reads",
+        "_mixed_pages",
+    )
+
+    def __init__(self, arrivals: ArrivalProcess, start_seq: int = 0):
+        self._times = arrivals.times(start_seq)
+        self._next_seq = start_seq
+        self._chunk_seq = -1
+        self._arrivals_ns: "Sequence[int] | None" = None
+        self._reads: "Sequence[bool] | None" = None
+        self._mixed_pages = None
+
+    def columns(self, seq_base: int, requests: Sequence["IORequest"]):
+        n = len(requests)
+        if seq_base == self._chunk_seq and len(self._arrivals_ns) == n:
+            return self._arrivals_ns, self._reads
+        if seq_base != self._next_seq:
+            raise ValueError(
+                "observers sharing an arrival tape must consume identical "
+                f"chunks in order (expected seq {self._next_seq}, got {seq_base})"
+            )
+        read = RequestKind.READ
+        if _np is not None:
+            # Elementwise multiply/add then truncate: per value exactly
+            # ``int(t * 1000.0 + 0.5)``, the scalar conversion below.
+            times_us = _np.fromiter(self._times, _np.float64, n)
+            arrivals_ns = (times_us * 1000.0 + 0.5).astype(_np.int64)
+            reads = _np.fromiter(
+                (request.kind is read for request in requests), _np.bool_, n
+            )
+        else:
+            next_time = self._times.__next__
+            arrivals_ns = [int(next_time() * 1000.0 + 0.5) for _ in range(n)]
+            reads = [request.kind is read for request in requests]
+        self._arrivals_ns = arrivals_ns
+        self._reads = reads
+        self._mixed_pages = None
+        self._chunk_seq = seq_base
+        self._next_seq = seq_base + n
+        return arrivals_ns, reads
+
+    def mixed_pages(self, requests: Sequence["IORequest"]):
+        """The murmur-mixed page ids of the current chunk (``uint64``).
+
+        :class:`~repro.simulation.cluster.HashRouter` routes via
+        ``mix(page) % shards``; the mix is shard-count-independent, so one
+        shared column serves every hash-routed cluster in the run.  The
+        wrapping uint64 pipeline is exact — identical to the scalar
+        ``_mix_page`` — and only the numpy fast path calls this."""
+        if self._mixed_pages is None:
+            pages = _np.fromiter(
+                (request.page for request in requests), _np.uint64, len(requests)
+            )
+            pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xFF51AFD7ED558CCD)
+            pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xC4CEB9FE1A85EC53)
+            self._mixed_pages = pages ^ (pages >> _np.uint64(33))
+        return self._mixed_pages
+
+
+class _SingleServerQueue:
+    """One FCFS shard with a single server: scalar Lindley recursion."""
+
+    __slots__ = ("busy_ns",)
+    servers = 1
+
+    def __init__(self):
+        self.busy_ns = 0
+
+    def admit(self, t_ns: int, service_ns: int) -> int:
+        """Admit an arrival at *t_ns* needing *service_ns*; return its
+        queueing delay (ns)."""
+        busy = self.busy_ns
+        start = busy if busy > t_ns else t_ns
+        self.busy_ns = start + service_ns
+        return start - t_ns
+
+    def last_departure_ns(self) -> int:
+        return self.busy_ns
+
+
+class _MultiServerQueue:
+    """One FCFS shard with ``c`` servers: min-heap of busy-until times.
+
+    Arrivals are assigned to the earliest-free server in arrival order
+    (G/G/c FCFS).  Always the scalar path — multi-server recursions do
+    not unroll into prefix scans — so numpy presence cannot matter.
+    """
+
+    __slots__ = ("servers", "busy")
+
+    def __init__(self, servers: int):
+        self.servers = servers
+        self.busy = [0] * servers
+
+    def admit(self, t_ns: int, service_ns: int) -> int:
+        earliest = self.busy[0]
+        start = earliest if earliest > t_ns else t_ns
+        heapreplace(self.busy, start + service_ns)
+        return start - t_ns
+
+    def last_departure_ns(self) -> int:
+        return max(self.busy)
+
+
+class QueueingObserver(ReplayObserver):
+    """Feeds the outcome stream through per-shard FCFS queues.
+
+    Per outcome, in stream order: read the arrival timestamp from the
+    (possibly shared) arrival tape, price the service time, resolve the
+    Lindley recursion against the routed shard's servers, and record
+    queueing delay + sojourn into the shared-bucket histograms.  Never
+    mutates requests, outcomes or the policy.
+
+    Position-independent devices price by outcome class, so their service
+    times come from three probed constants; seek devices (HDD) price each
+    event through this observer's own per-shard cost accumulators.  With
+    numpy available, single-server constant-price replays take the
+    vectorised chunk path; both paths produce identical integers.
+    """
+
+    __slots__ = (
+        "_model",
+        "_route",
+        "_router",
+        "_shard_count",
+        "_tape",
+        "_queues",
+        "_pricers",
+        "_service_ns",
+        "_vector",
+        "_arrival_chunks",
+        "_read_chunks",
+        "_hit_chunks",
+        "_shard_chunks",
+        "_departs",
+        "_count",
+        "_total_delay_ns",
+        "_total_sojourn_ns",
+        "_total_service_ns",
+        "_first_ns",
+        "_last_ns",
+        "_delay_hist",
+        "_sojourn_hist",
+        "_merged",
+        "_finalized",
+    )
+
+    def __init__(
+        self,
+        model: QueueingModel,
+        policy: "CachePolicy",
+        start_seq: int = 0,
+        tape: "_ArrivalTape | None" = None,
+    ):
+        self._model = model
+        cost_model = model.cost_model()
+        router = getattr(policy, "router", None)
+        if (
+            router is not None
+            and hasattr(router, "route")
+            and getattr(policy, "shard_count", 0) >= 1
+        ):
+            self._shard_count = policy.shard_count
+            self._route = router.route
+            self._router = router
+        else:
+            self._shard_count = 1
+            self._route = None
+            self._router = None
+        shard_count = self._shard_count
+        servers = model.servers_per_shard
+        if cost_model.profile.position_dependent:
+            # Seek devices: one accumulator (head) per shard, priced per event.
+            self._service_ns = None
+            self._pricers = [cost_model.accumulator() for _ in range(shard_count)]
+        else:
+            # Three price classes; probing price() keeps the constants
+            # byte-for-byte what per-event pricing would produce.
+            probe = cost_model.accumulator()
+            self._service_ns = (
+                _to_ns(probe.price(_PROBE_READ, True)),
+                _to_ns(probe.price(_PROBE_READ, False)),
+                _to_ns(probe.price(_PROBE_WRITE, False)),
+            )
+            self._pricers = []
+        self._vector = (
+            _np is not None and servers == 1 and self._service_ns is not None
+        )
+        if self._vector:
+            self._queues = []
+            self._delay_hist = None
+            self._sojourn_hist = None
+        else:
+            if servers == 1:
+                self._queues = [_SingleServerQueue() for _ in range(shard_count)]
+            else:
+                self._queues = [_MultiServerQueue(servers) for _ in range(shard_count)]
+            self._delay_hist = _fresh_histogram()
+            self._sojourn_hist = _fresh_histogram()
+        self._arrival_chunks: list = []
+        self._read_chunks: list = []
+        self._hit_chunks: list = []
+        self._shard_chunks: list = []
+        self._tape = tape if tape is not None else _ArrivalTape(model.arrivals, start_seq)
+        self._departs: list = []
+        self._count = 0
+        self._total_delay_ns = 0
+        self._total_sojourn_ns = 0
+        self._total_service_ns = 0
+        self._first_ns: int | None = None
+        self._last_ns = 0
+        self._merged: list[QueueingObserver] = []
+        self._finalized: QueueingStats | None = None
+
+    def on_outcome(self, request: "IORequest", seq: int, outcome: "AccessOutcome") -> None:
+        self.on_chunk((request,), seq, (outcome,))
+
+    def on_chunk(
+        self,
+        requests: Sequence["IORequest"],
+        seq_base: int,
+        outcomes: Sequence["AccessOutcome"],
+    ) -> None:
+        if not requests:
+            return
+        arrivals_ns, reads = self._tape.columns(seq_base, requests)
+        if self._first_ns is None:
+            self._first_ns = int(arrivals_ns[0])
+        if self._vector:
+            self._chunk_vector(requests, outcomes, arrivals_ns, reads)
+        else:
+            self._chunk_scalar(requests, outcomes, arrivals_ns)
+        self._count += len(requests)
+        self._last_ns = int(arrivals_ns[-1])
+
+    # ------------------------------------------------------------ chunk paths
+    def _chunk_vector(self, requests, outcomes, arrivals_ns, reads) -> None:
+        """Bank one chunk's columns for the finalize-time vector pass.
+
+        The integer Lindley recursion is chunk-boundary-free, so nothing
+        per-chunk depends on queue state: the only column that must be
+        captured while the outcome objects are alive is the hit flags.
+        Everything else (pricing, recursion, totals, histograms) runs once
+        over the whole concatenated series in :meth:`_finalize_own`, which
+        replaces dozens of small-array numpy calls with a handful of large
+        ones; the arrival/read/mixed-page columns are appended as shared
+        references to the tape's arrays, not copies.
+        """
+        np = _np
+        n = len(requests)
+        self._arrival_chunks.append(arrivals_ns)
+        self._read_chunks.append(reads)
+        self._hit_chunks.append(
+            np.fromiter((outcome.hit for outcome in outcomes), np.bool_, n)
+        )
+        if self._route is not None:
+            if type(self._router) is HashRouter:
+                self._shard_chunks.append(self._tape.mixed_pages(requests))
+            else:
+                self._shard_chunks.append(
+                    np.fromiter(
+                        (self._route(request) for request in requests),
+                        np.int64,
+                        n,
+                    )
+                )
+
+    def _chunk_scalar(self, requests, outcomes, arrivals_ns) -> None:
+        """One chunk through the scalar queues (no numpy, seek devices, or
+        multi-server shards).  Same integers as the vector path."""
+        if _np is not None and not isinstance(arrivals_ns, list):
+            arrivals_ns = arrivals_ns.tolist()
+        consts = self._service_ns
+        if consts is not None:
+            hit_ns, miss_ns, write_ns = consts
+        route = self._route
+        queues = self._queues
+        pricers = self._pricers
+        read = RequestKind.READ
+        bounds = _BOUNDS_NS
+        last_bucket = _LAST_BUCKET
+        bisect = bisect_left
+        delay_hist = self._delay_hist
+        sojourn_hist = self._sojourn_hist
+        departs_append = self._departs.append
+        total_delay = 0
+        total_sojourn = 0
+        total_service = 0
+        for t_ns, request, outcome in zip(arrivals_ns, requests, outcomes):
+            shard = route(request) if route is not None else 0
+            if consts is not None:
+                if request.kind is read:
+                    service = hit_ns if outcome.hit else miss_ns
+                else:
+                    service = write_ns
+            else:
+                service = int(pricers[shard].price(request, outcome.hit) * 1000.0 + 0.5)
+            delay = queues[shard].admit(t_ns, service)
+            sojourn = delay + service
+            departs_append(t_ns + sojourn)
+            total_delay += delay
+            total_sojourn += sojourn
+            total_service += service
+            index = bisect(bounds, delay)
+            delay_hist[index if index < last_bucket else last_bucket] += 1
+            index = bisect(bounds, sojourn)
+            sojourn_hist[index if index < last_bucket else last_bucket] += 1
+        self._total_delay_ns += total_delay
+        self._total_sojourn_ns += total_sojourn
+        self._total_service_ns += total_service
+
+    # ------------------------------------------------------------ composition
+    def merge(self, other: "QueueingObserver") -> None:
+        if other._model != self._model:
+            raise ValueError("cannot merge QueueingObservers of different models")
+        self._merged.append(other)
+
+    def _replay_vector(self):
+        """The banked chunks through the int64 Lindley recursion, whole.
+
+        Returns ``(delay, sojourn, depart, service, last_departure_ns)``
+        arrays over the full segment (sharded segments return them grouped
+        by shard — the per-event order is irrelevant to every consumer:
+        totals, histograms and the departure overhang are all
+        order-independent sums).
+        """
+        np = _np
+        hit_ns, miss_ns, write_ns = self._service_ns
+        arrivals = np.concatenate(self._arrival_chunks)
+        reads = np.concatenate(self._read_chunks)
+        hits = np.concatenate(self._hit_chunks)
+        service = np.where(reads, np.where(hits, hit_ns, miss_ns), write_ns)
+        if self._route is None:
+            prefix = np.cumsum(service)
+            running = np.maximum.accumulate(arrivals - prefix + service)
+            depart = prefix + np.maximum(running, 0)
+            delay = depart - service - arrivals
+            sojourn = depart - arrivals
+            return delay, sojourn, depart, service, int(depart[-1])
+        shard_ids = np.concatenate(self._shard_chunks)
+        if type(self._router) is HashRouter:
+            # mix(page) % shards, on the mixed pages banked from the shared
+            # tape; uint64 modulo matches the scalar route() bit for bit.
+            shard_ids = (shard_ids % np.uint64(self._shard_count)).astype(np.int64)
+        delays, sojourns, departs = [], [], []
+        last_departure = 0
+        for shard in range(self._shard_count):
+            mask = shard_ids == shard
+            if not mask.any():
+                continue
+            t_shard = arrivals[mask]
+            s_shard = service[mask]
+            prefix = np.cumsum(s_shard)
+            running = np.maximum.accumulate(t_shard - prefix + s_shard)
+            d_shard = prefix + np.maximum(running, 0)
+            last_departure = max(last_departure, int(d_shard[-1]))
+            delays.append(d_shard - s_shard - t_shard)
+            sojourns.append(d_shard - t_shard)
+            departs.append(d_shard)
+        return (
+            np.concatenate(delays),
+            np.concatenate(sojourns),
+            np.concatenate(departs),
+            service,
+            last_departure,
+        )
+
+    def _finalize_own(self) -> QueueingStats:
+        """Fold this segment into stats via the two accounting identities
+        (cached so finalize stays repeatable)."""
+        if self._finalized is not None:
+            return self._finalized
+        delay_hist = self._delay_hist
+        sojourn_hist = self._sojourn_hist
+        if self._count:
+            # Departures after the last arrival T contribute only [t_i, T]
+            # to the N(t) integral cut at T: subtract their overhang from
+            # the total-sojourn identity.
+            last_arrival = self._last_ns
+            if self._vector:
+                np = _np
+                delay, sojourn, departs, service, last_departure = (
+                    self._replay_vector()
+                )
+                self._total_delay_ns = int(delay.sum())
+                self._total_sojourn_ns = int(sojourn.sum())
+                self._total_service_ns = int(service.sum())
+                overhang = int((departs[departs > last_arrival] - last_arrival).sum())
+                bounds = _BOUNDS_NS_ARRAY
+                indexes = np.minimum(
+                    np.searchsorted(bounds, delay, side="left"), _LAST_BUCKET
+                )
+                delay_hist = np.bincount(indexes, minlength=len(_BOUNDS_NS))
+                indexes = np.minimum(
+                    np.searchsorted(bounds, sojourn, side="left"), _LAST_BUCKET
+                )
+                sojourn_hist = np.bincount(indexes, minlength=len(_BOUNDS_NS))
+            else:
+                overhang = sum(
+                    depart - last_arrival
+                    for depart in self._departs
+                    if depart > last_arrival
+                )
+                last_departure = max(queue.last_departure_ns() for queue in self._queues)
+            area_at_last_arrival = self._total_sojourn_ns - overhang
+        else:
+            area_at_last_arrival = 0
+            last_departure = 0
+            if delay_hist is None:
+                delay_hist = _fresh_histogram()
+                sojourn_hist = _fresh_histogram()
+        self._finalized = QueueingStats(
+            request_count=self._count,
+            servers=self._shard_count * self._model.servers_per_shard,
+            total_delay_ns=self._total_delay_ns,
+            total_sojourn_ns=self._total_sojourn_ns,
+            total_service_ns=self._total_service_ns,
+            first_arrival_ns=self._first_ns if self._first_ns is not None else 0,
+            last_arrival_ns=self._last_ns,
+            last_departure_ns=last_departure,
+            area_at_last_arrival_ns=area_at_last_arrival,
+            delay_histogram=[int(count) for count in delay_hist],
+            sojourn_histogram=[int(count) for count in sojourn_hist],
+        )
+        return self._finalized
+
+    def finalize(self) -> QueueingStats:
+        stats = self._finalize_own()
+        for observer in self._merged:
+            stats = stats.merge(observer._finalize_own())
+        return stats

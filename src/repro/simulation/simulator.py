@@ -24,6 +24,7 @@ from repro.simulation.costmodel import CostModel
 from repro.simulation.engine import MultiPolicySimulator
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.observers import ReplayObserver
+from repro.simulation.queueing import QueueingModel
 from repro.simulation.request import IORequest
 
 __all__ = ["CacheSimulator", "simulate"]
@@ -40,6 +41,11 @@ class CacheSimulator:
     the result's ``rolling`` field carries the per-window hit-ratio and
     eviction series (:class:`~repro.simulation.metrics.RollingMetrics`).
 
+    ``queueing_model`` opts the run into open-loop queueing
+    (:mod:`repro.simulation.queueing`): the result's ``queueing`` field
+    carries queueing-delay / sojourn / utilization accounting under the
+    model's arrival process.
+
     ``observer_factories`` attaches custom observers
     (:class:`~repro.simulation.observers.ReplayObserver`): each factory is
     called ``factory(policy, start_seq)`` once per run; keep your own
@@ -52,6 +58,7 @@ class CacheSimulator:
         track_per_client: bool = True,
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
+        queueing_model: QueueingModel | None = None,
         observer_factories: Sequence[
             Callable[[CachePolicy, int], ReplayObserver]
         ] = (),
@@ -62,6 +69,7 @@ class CacheSimulator:
             track_per_client=track_per_client,
             cost_model=cost_model,
             rolling_window=rolling_window,
+            queueing_model=queueing_model,
             observer_factories=observer_factories,
         )
 
@@ -88,6 +96,7 @@ def simulate(
     track_per_client: bool = True,
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
+    queueing_model: QueueingModel | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: ``CacheSimulator(policy).run(requests)``."""
     return CacheSimulator(
@@ -95,4 +104,5 @@ def simulate(
         track_per_client=track_per_client,
         cost_model=cost_model,
         rolling_window=rolling_window,
+        queueing_model=queueing_model,
     ).run(requests)

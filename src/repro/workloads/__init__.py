@@ -13,6 +13,14 @@ from repro.workloads.access import (
     PageAccess,
     ScanAccess,
 )
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    build_arrivals,
+)
 from repro.workloads.client import DBMSClient
 from repro.workloads.db2 import DB2Client
 from repro.workloads.dbmodel import DatabaseObject, ObjectType, SyntheticDatabase
@@ -40,6 +48,12 @@ from repro.workloads.tpcc import TPCC_TRANSACTION_MIX, TPCCWorkload
 from repro.workloads.tpch import TPCH_QUERY_TEMPLATES, TPCHWorkload
 
 __all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ARRIVAL_KINDS",
+    "build_arrivals",
     "AppendCursor",
     "HotSpotSampler",
     "LogicalOp",

@@ -47,6 +47,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["latency", "--cost-model", "write-around"])
 
+    def test_offered_load_flag_parses_fractions(self):
+        args = build_parser().parse_args(["load", "--offered-load", "0.5,0.9,1.2"])
+        assert args.offered_loads == (0.5, 0.9, 1.2)
+
+    def test_offered_load_flag_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--offered-load", "half"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--offered-load", "0.5,-1"])
+
+    def test_arrival_flag_accepts_known_kinds(self):
+        args = build_parser().parse_args(["load", "--arrival", "bursty"])
+        assert args.arrival == "bursty"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--arrival", "sawtooth"])
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -90,6 +106,27 @@ class TestMain:
         csv_text = (tmp_path / "latency.csv").read_text()
         assert "mean_read_latency_us" in csv_text
         assert "hottest_shard_penalty" in csv_text
+
+    def test_load_experiment_end_to_end(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "--experiment", "load",
+                    "--requests", "1500",
+                    "--seed", "3",
+                    "--offered-load", "0.5,1.2",
+                    "--arrival", "poisson",
+                    "--csv-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "offered_load" in output
+        assert "p99_queue_delay_us" in output
+        assert "utilization" in output
+        csv_text = (tmp_path / "load.csv").read_text()
+        assert "mean_queue_delay_us" in csv_text
 
     def test_runs_small_experiment_and_writes_csv(self, tmp_path, capsys):
         assert main(["fig5", "--requests", "1500", "--seed", "3", "--csv-dir", str(tmp_path)]) == 0

@@ -13,6 +13,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.hint_priorities import run_hint_priority_scatter
 from repro.experiments.latency import run_latency_experiment
+from repro.experiments.load import run_load_experiment
 from repro.experiments.multiclient import run_multiclient_experiment
 from repro.experiments.noise import run_noise_experiment
 from repro.experiments.policies import run_policy_comparison
@@ -290,6 +291,109 @@ class TestLatencyExperiment:
             settings=settings,
         )
         assert {row["device"] for row in rows} == {"nvme"}
+
+
+class TestLoadExperiment:
+    def test_rows_cover_loads_configurations_and_policies(self):
+        settings = ExperimentSettings(
+            target_requests=4_000, seed=5, offered_loads=(0.5, 1.2)
+        )
+        rows = run_load_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU", "CLIC"),
+            settings=settings,
+            cluster_shards=2,
+        )
+        # 2 loads x 2 configurations x 2 policies.
+        assert len(rows) == 8
+        assert {row["offered_load"] for row in rows} == {0.5, 1.2}
+        assert {row["configuration"] for row in rows} == {"unified", "2 shards"}
+        assert {row["arrival"] for row in rows} == {"poisson"}
+        for row in rows:
+            assert row["mean_read_latency_us"] > 0.0
+            assert 0.0 < row["utilization"] <= 1.0
+            assert row["p99_sojourn_us"] >= row["p50_sojourn_us"]
+            assert row["arrival_rate_rps"] > 0.0
+
+    def test_saturation_knee_is_monotone_in_offered_load(self):
+        """The tentpole's headline property: for every configuration and
+        policy, queueing delay and utilization are nondecreasing in the
+        offered load (pathwise coupling via ``scaled``), with overload
+        clearly worse than light load."""
+        settings = ExperimentSettings(
+            target_requests=4_000, seed=5, offered_loads=(0.25, 0.9, 1.5)
+        )
+        rows = run_load_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU",),
+            settings=settings,
+            cluster_shards=2,
+        )
+        series: dict[str, list] = {}
+        for row in rows:
+            series.setdefault(row["configuration"], []).append(row)
+        for configuration, points in series.items():
+            points.sort(key=lambda row: row["offered_load"])
+            delays = [row["mean_queue_delay_us"] for row in points]
+            utils = [row["utilization"] for row in points]
+            assert delays == sorted(delays), configuration
+            assert utils == sorted(utils), configuration
+            assert delays[-1] > 10.0 * max(delays[0], 1e-9), configuration
+
+    def test_sharding_defers_the_knee(self):
+        """At the same overload, the 2-shard fleet (twice the servers)
+        queues far less than the unified server."""
+        settings = ExperimentSettings(
+            target_requests=4_000, seed=5, offered_loads=(1.2,)
+        )
+        rows = run_load_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=600,
+            policies=("LRU",),
+            settings=settings,
+            cluster_shards=2,
+        )
+        by_configuration = {row["configuration"]: row for row in rows}
+        assert (
+            by_configuration["2 shards"]["mean_queue_delay_us"]
+            < by_configuration["unified"]["mean_queue_delay_us"]
+        )
+        assert (
+            by_configuration["2 shards"]["utilization"]
+            < by_configuration["unified"]["utilization"]
+        )
+
+    def test_arrival_kind_comes_from_settings(self):
+        settings = ExperimentSettings(
+            target_requests=2_000, seed=5, offered_loads=(0.5,), arrival="bursty"
+        )
+        rows = run_load_experiment(
+            trace_names=("DB2_C60",),
+            cache_size=300,
+            policies=("LRU",),
+            settings=settings,
+            cluster_shards=1,
+        )
+        assert [row["configuration"] for row in rows] == ["unified"]
+        assert rows[0]["arrival"] == "bursty"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cluster_shards"):
+            run_load_experiment(settings=TINY, cluster_shards=0)
+        with pytest.raises(ValueError, match="offered_loads"):
+            run_load_experiment(
+                settings=ExperimentSettings(
+                    target_requests=2_000, seed=5, offered_loads=()
+                )
+            )
+        with pytest.raises(ValueError, match="offered loads"):
+            run_load_experiment(
+                settings=ExperimentSettings(
+                    target_requests=2_000, seed=5, offered_loads=(0.5, -1.0)
+                )
+            )
 
 
 class TestAblations:

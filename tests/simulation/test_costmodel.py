@@ -117,6 +117,40 @@ class TestLatencyStats:
         stats.record_write(1000.0, count=500)  # 0.5 s busy
         assert stats.throughput_rps == pytest.approx(1000.0)
 
+    def test_zero_latency_reads_report_exactly_zero_percentiles(self):
+        """Regression: the histogram's leading bucket is the exact-zero
+        class.  Before it existed, a 0.0us recording landed in the first
+        geometric bucket and every percentile reported its positive upper
+        bound — 'no latency' showed up as 0.5us."""
+        stats = LatencyStats()
+        stats.record_read(0.0, count=50)
+        assert HISTOGRAM_BUCKET_BOUNDS_US[0] == 0.0
+        assert stats.read_histogram[0] == 50
+        assert stats.p50_read_us == 0.0
+        assert stats.p99_read_us == 0.0
+        assert stats.read_percentile(1.0) == 0.0
+        # Any positive latency still lands in a positive-bound bucket.
+        stats.record_read(0.001, count=1)
+        assert stats.read_percentile(1.0) > 0.0
+
+    def test_empty_report_columns_are_all_zero(self):
+        columns = LatencyStats().report_columns()
+        assert set(columns) == {
+            "mean_read_latency_us",
+            "p50_read_latency_us",
+            "p99_read_latency_us",
+            "modeled_throughput_rps",
+        }
+        assert all(value == 0.0 for value in columns.values())
+
+    def test_merge_rejects_mismatched_histogram_lengths(self):
+        """Regression: merging stats built against different bucketisations
+        used to silently zip-truncate, losing tail counts."""
+        a, b = LatencyStats(), LatencyStats()
+        b.read_histogram = b.read_histogram + [0]
+        with pytest.raises(ValueError, match="histogram"):
+            a.merge(b)
+
 
 class TestPricing:
     def test_write_back_absorbs_writes_at_cache_speed(self):
@@ -163,6 +197,34 @@ class TestAccumulator:
                 stats.record_outcome(request, outcome)
             latency = accumulator.finalize()
             assert latency.as_dict() == model.latency_from_stats(stats).as_dict()
+
+    def test_price_matches_charge_for_every_pricing_class(self):
+        """``price`` returns exactly what ``charge`` accumulates — same
+        rules, same seek-head walk — totalled over a mixed stream on a
+        seek device (the hardest case: stateful head)."""
+        from repro.simulation.request import read_request, write_request
+
+        model = CostModel("hdd", page_span=256)
+        requests = [
+            (read_request(page=(seq * 37) % 200), seq % 3 == 0)
+            for seq in range(40)
+        ] + [(write_request(page=seq * 11 % 200), False) for seq in range(10)]
+        pricer, recorder = model.accumulator(), model.accumulator()
+        priced_total = 0.0
+        for request, hit in requests:
+            priced_total += pricer.price(request, hit)
+            recorder.charge(request, hit)
+        assert priced_total == pytest.approx(recorder.finalize().total_us)
+
+    def test_price_does_not_accumulate(self):
+        from repro.simulation.request import read_request
+
+        accumulator = CostModel("ssd").accumulator()
+        assert accumulator.price(read_request(page=3), hit=False) == pytest.approx(90.0)
+        assert accumulator.price(read_request(page=3), hit=True) == pytest.approx(5.0)
+        stats = accumulator.finalize()
+        assert stats.request_count == 0
+        assert stats.total_us == 0.0
 
     def test_hdd_seeks_depend_on_access_pattern(self):
         model = CostModel("hdd", page_span=10_000)

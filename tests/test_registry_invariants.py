@@ -35,9 +35,16 @@ from hypothesis import strategies as st
 from repro.cache.registry import available_policies, create_policy
 from repro.core.config import CLICConfig
 from repro.simulation.costmodel import CostModel
-from repro.simulation.engine import MultiPolicySimulator
-from repro.simulation.request import RequestKind
+from repro.simulation.engine import (
+    MultiPolicySimulator,
+    ParallelSweepRunner,
+    PolicySpec,
+    SweepCell,
+)
+from repro.simulation.queueing import QueueingModel
+from repro.simulation.request import RequestKind, read_request, write_request
 from repro.simulation.simulator import CacheSimulator
+from repro.workloads.arrivals import PoissonArrivals
 
 from tests.strategies import request_streams
 
@@ -256,3 +263,71 @@ class TestRegistryInvariants:
         assert priced.stats.as_dict() == unpriced.stats.as_dict()
         assert priced.latency is not None
         assert priced.latency.request_count == len(stream)
+
+    @pytest.mark.parametrize("label,name,kwargs", CASES, ids=CASE_IDS)
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=STREAMS)
+    def test_queueing_observer_never_changes_outcomes(self, label, name, kwargs, stream):
+        """Queueing is pure accounting: stats and latency are bit-identical
+        with a :class:`QueueingObserver` attached vs detached."""
+        model = CostModel(device="hdd", page_span=64)
+        queueing = QueueingModel(
+            arrivals=PoissonArrivals(rate_rps=8_000.0, seed=3), device="hdd"
+        )
+        detached = _run(name, kwargs, stream, cost_model=model)
+        attached = CacheSimulator(
+            _build(name, kwargs), cost_model=model, queueing_model=queueing
+        ).run(stream)
+        assert detached.queueing is None
+        assert attached.stats.as_dict() == detached.stats.as_dict()
+        assert {c: s.as_dict() for c, s in attached.per_client.items()} == {
+            c: s.as_dict() for c, s in detached.per_client.items()
+        }
+        assert [s.as_dict() for s in attached.per_shard] == [
+            s.as_dict() for s in detached.per_shard
+        ]
+        assert attached.latency.as_dict() == detached.latency.as_dict()
+        assert attached.queueing is not None
+        assert attached.queueing.request_count == len(stream)
+
+
+def _queueing_sweep_cells() -> list[SweepCell]:
+    """One cell per offered load, every registry policy (incl. SHARDED) in each."""
+    specs = []
+    for name in available_policies():
+        kwargs = _POLICY_KWARGS.get(name, {})
+        specs.append(PolicySpec(label=name, name=name, capacity=CAPACITY, kwargs=kwargs))
+    for label, kwargs in _SHARDED_VARIANTS:
+        if kwargs.get("router") == "client":
+            continue  # the fixed stream below uses one client id
+        specs.append(
+            PolicySpec(label=label, name="SHARDED", capacity=CAPACITY, kwargs=kwargs)
+        )
+    base = QueueingModel(arrivals=PoissonArrivals(rate_rps=9_000.0, seed=7))
+    return [
+        SweepCell(x=load, specs=tuple(specs), queueing=base.scaled(load))
+        for load in (0.5, 1.2)
+    ]
+
+
+def test_queueing_sweep_identical_across_jobs():
+    """jobs=1 and jobs=2 report bit-identical queueing columns for every
+    registered policy: cells replay whole inside one worker, so arrival
+    clocks and queue state never cross a process boundary."""
+    stream = [
+        read_request(page=(seq * 7) % 23) if seq % 3 else write_request(page=seq % 11)
+        for seq in range(400)
+    ]
+    cells = _queueing_sweep_cells()
+    serial = ParallelSweepRunner(stream, jobs=1, cost_model=CostModel()).run(
+        cells, parameter="offered_load"
+    )
+    parallel = ParallelSweepRunner(stream, jobs=2, cost_model=CostModel()).run(
+        cells, parameter="offered_load"
+    )
+    assert serial.as_rows() == parallel.as_rows()
+    for label, points in serial.series.items():
+        for point in points:
+            queueing = point.result.queueing
+            assert queueing is not None, (label, point.x)
+            assert queueing.request_count == len(stream)
