@@ -8,7 +8,7 @@ can be plugged into every experiment without touching the harness.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.cache.arc import ARCPolicy
 from repro.cache.base import CachePolicy
@@ -50,7 +50,7 @@ def register_policy(name: str, factory: PolicyFactory, overwrite: bool = False) 
     _REGISTRY[key] = factory
 
 
-def create_policy(name: str, capacity: int, **kwargs) -> CachePolicy:
+def create_policy(name: str, capacity: int, **kwargs: Any) -> CachePolicy:
     """Instantiate the policy registered under *name* with the given capacity."""
     key = name.upper()
     if key not in _REGISTRY:
@@ -65,7 +65,7 @@ def available_policies() -> Iterable[str]:
     return sorted(_REGISTRY)
 
 
-def _sharded_factory(capacity: int, **kwargs) -> CachePolicy:
+def _sharded_factory(capacity: int, **kwargs: Any) -> CachePolicy:
     # ShardedCache lives in the simulation layer (it composes policies built
     # through this registry), so it is imported at call time: registering it
     # here keeps "SHARDED" resolvable in every process — sweep workers

@@ -332,7 +332,7 @@ class ShardedCache(CachePolicy):
     #: unified OPT and every OPT-backed cluster in the same pass.
     build_read_index = staticmethod(OPTPolicy.build_read_index)
 
-    def adopt_read_index(self, read_positions) -> None:
+    def adopt_read_index(self, read_positions: dict[int, list[int]]) -> None:
         """Forward a pre-built future-read index to the offline shards."""
         for shard in self._shards:
             if not shard.offline:

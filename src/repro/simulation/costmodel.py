@@ -46,6 +46,7 @@ from repro.cache.base import CacheStats
 from repro.simulation.request import RequestKind
 
 if TYPE_CHECKING:  # imported for type annotations only
+    from repro.simulation.cluster import ShardRouter
     from repro.simulation.request import IORequest
 
 __all__ = [
@@ -314,7 +315,7 @@ DEVICE_PROFILES: dict[str, DeviceProfile] = {
 }
 
 
-def make_device_profile(device: str | DeviceProfile, **overrides) -> DeviceProfile:
+def make_device_profile(device: str | DeviceProfile, **overrides: object) -> DeviceProfile:
     """Resolve a device name (or pass through a profile), applying overrides.
 
     ``make_device_profile("ssd", read_base_us=60.0)`` is the configurable
@@ -381,7 +382,7 @@ class CostModel:
         """A fresh per-policy accumulator for one replay pass."""
         return CostAccumulator(self)
 
-    def accumulator_for(self, policy) -> "CostAccumulator | ShardedCostAccumulator":
+    def accumulator_for(self, policy: object) -> "CostAccumulator | ShardedCostAccumulator":
         """The right accumulator for *policy*: per-shard heads for clusters.
 
         A sharded cluster on a seek device is a fleet of independently
@@ -579,7 +580,7 @@ class ShardedCostAccumulator:
 
     __slots__ = ("_router", "_shards", "_finalized")
 
-    def __init__(self, model: CostModel, router, shard_count: int):
+    def __init__(self, model: CostModel, router: "ShardRouter", shard_count: int):
         self._router = router
         self._shards = [CostAccumulator(model) for _ in range(shard_count)]
         self._finalized: tuple[LatencyStats, ...] | None = None

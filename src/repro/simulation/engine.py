@@ -288,7 +288,7 @@ class MultiPolicySimulator:
                 if interval:
                     boundary = gcd(boundary, interval)
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # lintkit: ignore[wall-clock] elapsed_seconds is runtime telemetry, never replay state
         # client_id -> [read_requests, write_requests, read hits per policy,
         # write hits per policy].  The request counts are policy-independent,
         # so they are counted once per chunk and shared by all N per-client
@@ -324,7 +324,8 @@ class MultiPolicySimulator:
             if track and not multi_client:
                 chunk_clients = {request.client_id for request in chunk}
                 if sole_client is None and len(chunk_clients) == 1:
-                    sole_client = next(iter(chunk_clients))
+                    # The singleton's value, read without set iteration.
+                    sole_client = chunk[0].client_id
                 if len(chunk_clients) > 1 or (
                     sole_client is not None and chunk_clients != {sole_client}
                 ):
@@ -374,7 +375,7 @@ class MultiPolicySimulator:
 
         if track and not multi_client and sole_client is not None:
             per_client[sole_client] = snapshot_counts()
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # lintkit: ignore[wall-clock] elapsed_seconds is runtime telemetry, never replay state
 
         results = []
         for j, policy in enumerate(policies):

@@ -38,7 +38,9 @@ from typing import TYPE_CHECKING, Sequence
 from repro.cache.base import AccessOutcome, CacheStats
 
 if TYPE_CHECKING:  # imported for type annotations only
+    from repro.simulation.cluster import ShardedCache
     from repro.simulation.costmodel import CostAccumulator, LatencyStats
+    from repro.simulation.metrics import RollingMetrics
     from repro.simulation.request import IORequest
 
 __all__ = [
@@ -85,7 +87,7 @@ class ReplayObserver(abc.ABC):
         """Absorb *other*, the observer of the directly following segment."""
 
     @abc.abstractmethod
-    def finalize(self):
+    def finalize(self) -> object:
         """Return the accounting product (non-destructive)."""
 
 
@@ -198,7 +200,7 @@ class ShardStatsObserver(ReplayObserver):
 
     __slots__ = ("_route", "_shards")
 
-    def __init__(self, cluster):
+    def __init__(self, cluster: "ShardedCache"):
         self._route = cluster.router.route
         self._shards = [CacheStats() for _ in range(cluster.shard_count)]
 
@@ -227,7 +229,7 @@ class ShardStatsObserver(ReplayObserver):
         return tuple(replace(stats) for stats in self._shards)
 
 
-def shard_observer_for(policy) -> ShardStatsObserver | None:
+def shard_observer_for(policy: object) -> ShardStatsObserver | None:
     """A :class:`ShardStatsObserver` for sharded clusters, else ``None``.
 
     Duck-types the cluster surface (``router`` + ``shard_count``), matching
@@ -408,7 +410,7 @@ class RollingObserver(ReplayObserver):
         self._start = other._seq
         self._seq = other._seq
 
-    def finalize(self):
+    def finalize(self) -> "RollingMetrics":
         from repro.simulation.metrics import RollingMetrics
 
         windows = list(self._windows)

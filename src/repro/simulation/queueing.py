@@ -58,7 +58,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from heapq import heapreplace
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 try:  # optional acceleration; the scalar path is bit-identical
     import numpy as _np
@@ -404,7 +404,9 @@ class _ArrivalTape:
         self._reads: "Sequence[bool] | None" = None
         self._mixed_pages = None
 
-    def columns(self, seq_base: int, requests: Sequence["IORequest"]):
+    def columns(
+        self, seq_base: int, requests: Sequence["IORequest"]
+    ) -> tuple[Sequence[int], Sequence[bool]]:
         n = len(requests)
         if seq_base == self._chunk_seq and len(self._arrivals_ns) == n:
             return self._arrivals_ns, self._reads
@@ -433,7 +435,7 @@ class _ArrivalTape:
         self._next_seq = seq_base + n
         return arrivals_ns, reads
 
-    def mixed_pages(self, requests: Sequence["IORequest"]):
+    def mixed_pages(self, requests: Sequence["IORequest"]) -> Any:
         """The murmur-mixed page ids of the current chunk (``uint64``).
 
         :class:`~repro.simulation.cluster.HashRouter` routes via
@@ -628,7 +630,13 @@ class QueueingObserver(ReplayObserver):
         self._last_ns = int(arrivals_ns[-1])
 
     # ------------------------------------------------------------ chunk paths
-    def _chunk_vector(self, requests, outcomes, arrivals_ns, reads) -> None:
+    def _chunk_vector(
+        self,
+        requests: Sequence["IORequest"],
+        outcomes: Sequence["AccessOutcome"],
+        arrivals_ns: Sequence[int],
+        reads: Sequence[bool],
+    ) -> None:
         """Bank one chunk's columns for the finalize-time vector pass.
 
         The integer Lindley recursion is chunk-boundary-free, so nothing
@@ -659,7 +667,12 @@ class QueueingObserver(ReplayObserver):
                     )
                 )
 
-    def _chunk_scalar(self, requests, outcomes, arrivals_ns) -> None:
+    def _chunk_scalar(
+        self,
+        requests: Sequence["IORequest"],
+        outcomes: Sequence["AccessOutcome"],
+        arrivals_ns: Sequence[int],
+    ) -> None:
         """One chunk through the scalar queues (no numpy, seek devices, or
         multi-server shards).  Same integers as the vector path."""
         if _np is not None and not isinstance(arrivals_ns, list):
@@ -709,7 +722,7 @@ class QueueingObserver(ReplayObserver):
             raise ValueError("cannot merge QueueingObservers of different models")
         self._merged.append(other)
 
-    def _replay_vector(self):
+    def _replay_vector(self) -> tuple[Any, Any, Any, Any, int]:
         """The banked chunks through the int64 Lindley recursion, whole.
 
         Returns ``(delay, sojourn, depart, service, last_departure_ns)``

@@ -31,7 +31,8 @@ import io as _io
 import json
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator
+from types import TracebackType
+from typing import BinaryIO, Iterable, Iterator
 
 from repro.core.hints import EMPTY_HINT_SET, HintSet
 from repro.simulation.request import IORequest, RequestKind
@@ -171,7 +172,12 @@ class BinaryTraceWriter:
     def __enter__(self) -> "BinaryTraceWriter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is not None:
             # Abandon a half-written file rather than sealing it with a
             # footer: readers must never mistake it for a complete trace.
@@ -341,7 +347,7 @@ class StreamedTrace:
         return Trace(name=self.name, requests_list=requests, metadata=dict(self.metadata))
 
     # ---------------------------------------------------------------- parsing
-    def _check_header(self, handle) -> None:
+    def _check_header(self, handle: BinaryIO) -> None:
         header = handle.read(len(_MAGIC) + 1)
         if len(header) < len(_MAGIC) + 1 or header[: len(_MAGIC)] != _MAGIC:
             raise TraceFormatError(f"{self.path.name}: not a binary trace (bad magic)")
@@ -410,7 +416,7 @@ def _decode_meta(payload: bytes, offset: int) -> dict:
     return data
 
 
-def _read_exact(handle, length: int, offset: int) -> bytes:
+def _read_exact(handle: BinaryIO, length: int, offset: int) -> bytes:
     data = handle.read(length)
     if len(data) != length:
         raise TraceFormatError(
@@ -420,7 +426,7 @@ def _read_exact(handle, length: int, offset: int) -> bytes:
     return data
 
 
-def _read_varint(handle, offset: int) -> int:
+def _read_varint(handle: BinaryIO, offset: int) -> int:
     result = 0
     shift = 0
     while True:

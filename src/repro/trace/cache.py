@@ -37,7 +37,8 @@ from repro.simulation.request import IORequest
 
 if TYPE_CHECKING:  # imported for type annotations only (lazy at runtime)
     from repro.workloads.arrivals import ArrivalProcess
-    from repro.workloads.phased import PhasePlan
+    from repro.workloads.phased import PhasePlan, PhasedTraceStream
+    from repro.workloads.standard import StandardTraceStream
 from repro.trace.binio import BinaryTraceWriter, StreamedTrace
 from repro.trace.records import Trace
 
@@ -284,7 +285,9 @@ class TraceCache:
             )
         return sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
 
-    def _generator(self, spec: TraceSpec):
+    def _generator(
+        self, spec: TraceSpec
+    ) -> "PhasedTraceStream | StandardTraceStream":
         if spec.plan is not None:
             from repro.workloads.phased import PhasedTraceStream
 

@@ -28,7 +28,9 @@ class ZipfSampler:
             raise ValueError(f"domain size must be >= 1, got {n}")
         if skew < 0:
             raise ValueError(f"skew must be >= 0, got {skew}")
-        self._rng = rng or random.Random()
+        # A missing rng must not fall back to OS entropy (the sampler's draws
+        # would differ run to run); default to the fixed seed 0 instead.
+        self._rng = rng if rng is not None else random.Random(0)
         weights = [1.0 / ((rank + 1) ** skew) for rank in range(n)]
         total = sum(weights)
         self._cumulative: list[float] = []

@@ -57,7 +57,7 @@ class Trace:
     def __iter__(self) -> Iterator[IORequest]:
         return iter(self.requests_list)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> "IORequest | list[IORequest]":
         return self.requests_list[index]
 
     def requests(self) -> list[IORequest]:

@@ -117,7 +117,10 @@ class FirstTierBufferPool:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
         self._capacity = capacity
-        self._rng = rng or random.Random()
+        # The pool's replacement behaviour is fully deterministic; the rng is
+        # accepted for client adapters that share one stream.  A missing rng
+        # must not fall back to OS entropy — default to the fixed seed 0.
+        self._rng = rng if rng is not None else random.Random(0)
         self._cleaner_interval = cleaner_interval
         self._cleaner_batch = cleaner_batch
         self._checkpoint_interval = checkpoint_interval

@@ -1,0 +1,18 @@
+"""Known-bad fixture: float arithmetic feeding the integer-ns clock."""
+
+
+class Queue:
+    def __init__(self) -> None:
+        self.busy_ns = 0
+
+    def admit(self, service_us: float) -> None:
+        self.busy_ns += service_us * 1000.0  # float product into *_ns
+
+
+def to_clock_ns(us: float) -> int:
+    total_ns = us / 0.001  # true division into a *_ns name
+    return total_ns
+
+
+def service_ns(us: float):
+    return us * 1000.0  # *_ns function returning float arithmetic

@@ -1,0 +1,18 @@
+"""Known-clean fixture: boundary conversions are explicitly truncated."""
+
+
+class Queue:
+    def __init__(self) -> None:
+        self.busy_ns = 0
+
+    def admit(self, service_us: float) -> None:
+        self.busy_ns += int(service_us * 1000.0 + 0.5)  # sanctioned boundary
+
+
+def to_clock_ns(us: float) -> int:
+    total_ns = int(us * 1000.0 + 0.5)
+    return total_ns
+
+
+def service_ns(us: float) -> int:
+    return round(us * 1000.0)

@@ -1,0 +1,32 @@
+"""Known-bad fixture: every no-nondeterminism rule fires in this file."""
+
+import os
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()  # wall-clock
+
+
+def token() -> bytes:
+    return os.urandom(8)  # entropy-source
+
+
+def ambient_draw() -> float:
+    return random.random()  # unseeded-random (process-global RNG)
+
+
+def unseeded_generator() -> random.Random:
+    return random.Random()  # unseeded-random (no seed argument)
+
+
+def capture_order(pages: set) -> list:
+    return list(pages)  # set-iteration into an ordered sink
+
+
+def walk_order(pages: set) -> int:
+    total = 0
+    for page in pages:  # set-iteration in a for statement
+        total += page
+    return total

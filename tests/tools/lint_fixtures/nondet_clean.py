@@ -1,0 +1,30 @@
+"""Known-clean fixture: deterministic counterparts of nondet_bad.py."""
+
+import random
+
+
+def stamp(logical_clock_us: int) -> int:
+    return logical_clock_us  # timestamps are threaded through parameters
+
+
+def token(seed: int) -> bytes:
+    return seed.to_bytes(8, "little")  # identifiers derive from the seed
+
+
+def seeded_draw(rng: random.Random) -> float:
+    return rng.random()  # the caller constructs random.Random(seed)
+
+
+def seeded_generator(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def capture_order(pages: set) -> list:
+    return sorted(pages)  # the canonical fix
+
+
+def walk_order(pages: set) -> int:
+    total = 0
+    for page in sorted(pages):
+        total += page
+    return total + len(pages) + sum(pages)  # order-insensitive folds are fine

@@ -1,0 +1,17 @@
+"""Known-bad fixture: both observer-purity rules fire on LeakyObserver."""
+
+
+class ReplayObserver:
+    pass
+
+
+class LeakyObserver(ReplayObserver):
+    def __init__(self) -> None:
+        self._hits = 0
+
+    def on_outcome(self, request, seq, outcome):
+        outcome.hit = True  # observer-param-mutation
+        self._hits += 1  # accumulates state, but merge() is missing
+
+    def finalize(self):
+        return self._hits

@@ -1,0 +1,21 @@
+"""Known-clean fixture: a stateful observer that only writes its own state
+and implements merge() for segmented replays."""
+
+
+class ReplayObserver:
+    pass
+
+
+class CountingObserver(ReplayObserver):
+    def __init__(self) -> None:
+        self._hits = 0
+
+    def on_outcome(self, request, seq, outcome):
+        if outcome.hit:
+            self._hits += 1
+
+    def merge(self, other):
+        self._hits += other._hits
+
+    def finalize(self):
+        return self._hits

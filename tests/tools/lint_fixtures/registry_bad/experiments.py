@@ -1,0 +1,5 @@
+"""Registry-bad fixture: `figx` has no golden fixture in golden/."""
+
+EXPERIMENTS = {
+    "figx": "an experiment with no golden fixture",
+}

@@ -1,0 +1,17 @@
+"""Registry-bad fixture: OrphanPolicy is never mentioned in registry.py."""
+
+
+class AccessOutcome:
+    pass
+
+
+class CachePolicy:
+    pass
+
+
+class OrphanPolicy(CachePolicy):
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def access(self, request, seq) -> AccessOutcome:
+        return AccessOutcome()

@@ -1,0 +1,7 @@
+"""Registry-bad fixture: the policy registry registers nothing."""
+
+_REGISTRY = {}
+
+
+def available_policies():
+    return sorted(_REGISTRY)

@@ -1,0 +1,5 @@
+"""Registry-clean fixture: `figx` is pinned by golden/figx.json."""
+
+EXPERIMENTS = {
+    "figx": "an experiment pinned by a golden fixture",
+}

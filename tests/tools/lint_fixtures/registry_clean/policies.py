@@ -1,0 +1,17 @@
+"""Registry-clean fixture: GoodPolicy is registered by name."""
+
+
+class AccessOutcome:
+    pass
+
+
+class CachePolicy:
+    pass
+
+
+class GoodPolicy(CachePolicy):
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def access(self, request, seq) -> AccessOutcome:
+        return AccessOutcome()

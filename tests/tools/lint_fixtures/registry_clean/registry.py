@@ -1,0 +1,9 @@
+"""Registry-clean fixture: the policy registry mentions every policy."""
+
+from registry_clean.policies import GoodPolicy
+
+_REGISTRY = {"GOOD": GoodPolicy}
+
+
+def available_policies():
+    return sorted(_REGISTRY)

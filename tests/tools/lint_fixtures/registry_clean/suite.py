@@ -1,0 +1,9 @@
+"""Registry-clean fixture: the invariant suite derives its policy list
+from the registry."""
+
+from registry_clean.registry import available_policies
+
+
+def test_all_policies() -> None:
+    for name in available_policies():
+        assert name

@@ -1,0 +1,11 @@
+"""Known-bad fixture for the suppression meta-rules."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # lintkit: ignore[wall-clock]
+
+
+def fine() -> int:
+    return 1  # lintkit: ignore[entropy-source] stale: nothing here to suppress

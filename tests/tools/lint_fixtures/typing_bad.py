@@ -1,0 +1,15 @@
+"""Known-bad fixture for the typing gate (analyzed with this module listed
+in ``strict_typing_packages``): missing parameter and return annotations."""
+
+
+def no_return_annotation(x: int):
+    return x
+
+
+def missing_params(x, *args, **kwargs) -> int:
+    return x
+
+
+class Thing:
+    def method(self, value) -> None:
+        self.value = value

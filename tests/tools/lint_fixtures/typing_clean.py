@@ -1,0 +1,13 @@
+"""Known-clean fixture for the typing gate: fully annotated defs."""
+
+
+def annotated(x: int, *args: int, **kwargs: int) -> int:
+    return x
+
+
+class Thing:
+    def __init__(self, value: int):  # __init__ return is exempt
+        self.value = value
+
+    def method(self, value: int) -> None:
+        self.value = value

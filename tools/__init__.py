@@ -1,0 +1,6 @@
+"""Repository maintenance tools.
+
+This package marker exists so ``python -m tools.lintkit`` resolves from the
+repository root; the standalone scripts (``regen_golden.py``,
+``check_links.py``, ...) keep working as plain scripts.
+"""

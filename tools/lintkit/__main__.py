@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m tools.lintkit [paths...]``.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage or
+parse errors.  Run from the repository root so the cross-file rules find
+the registries and golden fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.lintkit.core import LintConfig, run_paths
+from tools.lintkit.rules import ALL_RULES, rule_catalogue
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lintkit",
+        description="Determinism & kernel-contract static analysis "
+        "(see docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print violations silenced by documented suppressions",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id, _ in rule_catalogue())
+        for rule_id, summary in rule_catalogue():
+            print(f"{rule_id:<{width}}  {summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    select = args.select.split(",") if args.select else None
+    try:
+        result = run_paths(paths, LintConfig(root=Path.cwd()), select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": result.files,
+                    "rules": len(select) if select else len(ALL_RULES),
+                    "violations": [vars(v) for v in result.violations],
+                    "suppressed": [
+                        {**vars(v), "reason": s.reason}
+                        for v, s in result.suppressed
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in result.violations:
+            print(violation.render())
+        if args.show_suppressed:
+            for violation, suppression in result.suppressed:
+                print(f"{violation.render()}  [suppressed: {suppression.reason}]")
+        status = "clean" if result.ok else f"{len(result.violations)} violation(s)"
+        print(
+            f"lintkit: {result.files} file(s), "
+            f"{len(select) if select else len(ALL_RULES)} rule(s), {status}, "
+            f"{len(result.suppressed)} documented suppression(s)",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""lintkit core: file loading, rule driving, suppressions, reporting.
+
+The engine parses every analyzed file once into an :mod:`ast` tree, wraps it
+in a :class:`FileContext`, and assembles the set into a :class:`Project`
+(module index + class index) so cross-file rules — the kernel contract, the
+registry-completeness checks — can resolve imports and base classes without
+importing any of the code under analysis.  Rules never execute analyzed
+code; everything is syntactic.
+
+Two rule kinds exist:
+
+* :class:`FileRule` — ``check_file(ctx, config)`` runs once per file;
+* :class:`ProjectRule` — ``check_project(project, config)`` runs once per
+  analysis set, for rules that need to see several files at once.
+
+Suppressions are per-line comments::
+
+    risky_call()  # lintkit: ignore[rule-id] why this one is safe
+
+A suppression must carry a reason; a bare ``ignore[rule-id]`` is itself
+reported (rule id ``suppression-reason``).  Unused suppressions are also
+reported (``suppression-unused``) so stale ignores cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileContext",
+    "FileRule",
+    "LintConfig",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "RunResult",
+    "Suppression",
+    "Violation",
+    "dotted_name",
+    "run_paths",
+]
+
+
+# --------------------------------------------------------------------- model
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file and line."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# lintkit: ignore[rule-id] reason`` comment."""
+
+    path: str
+    line: int
+    rule_id: str
+    reason: str
+
+
+@dataclass
+class LintConfig:
+    """Repository layout the cross-file rules check against.
+
+    The defaults describe this repository (paths relative to ``root``);
+    tests point them into fixture trees instead.
+    """
+
+    #: Repository root all relative paths resolve against.
+    root: Path = field(default_factory=Path.cwd)
+    #: Module (dotted) prefixes held to the typing gate.
+    strict_typing_packages: tuple[str, ...] = (
+        "repro.cache",
+        "repro.simulation",
+        "repro.trace",
+    )
+    #: Path fragments exempt from every rule (measurement/tooling code may
+    #: read clocks; tests deliberately exercise bad inputs).
+    exempt_parts: tuple[str, ...] = ("benchmarks", "tools", "tests", "examples")
+    #: The policy registry module (kernel-contract + registry rules).
+    policy_registry_module: str = "repro.cache.registry"
+    #: The experiment registry module (registry-golden rule).
+    experiment_registry_module: str = "repro.experiments.registry"
+    #: Directory of golden experiment fixtures, relative to ``root``.
+    golden_dir: str = "tests/experiments/golden"
+    #: The registry-derived invariant suite, relative to ``root``.
+    invariant_suite: str = "tests/test_registry_invariants.py"
+
+    def is_exempt(self, path: Path) -> bool:
+        return any(part in self.exempt_parts for part in path.parts)
+
+
+class FileContext:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, root: Path):
+        path = path.resolve()
+        root = root.resolve()
+        self.path = path
+        try:
+            self.relpath = str(path.relative_to(root))
+        except ValueError:
+            self.relpath = str(path)
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.module = _module_name(path, root)
+
+    def violation(self, node: ast.AST | int, rule_id: str, message: str) -> Violation:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Violation(self.relpath, line, rule_id, message)
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name for *path*; ``src/`` layout is stripped."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class Project:
+    """The analysis set: module and class indexes over all parsed files."""
+
+    def __init__(self, files: Sequence[FileContext], config: LintConfig):
+        self.files = list(files)
+        self.config = config
+        self.modules: dict[str, FileContext] = {ctx.module: ctx for ctx in files}
+        #: (module, class name) -> (ctx, ClassDef)
+        self.classes: dict[tuple[str, str], tuple[FileContext, ast.ClassDef]] = {}
+        for ctx in files:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes[(ctx.module, node.name)] = (ctx, node)
+
+    # ------------------------------------------------------- name resolution
+    def imported_symbols(self, ctx: FileContext) -> dict[str, tuple[str, str]]:
+        """Map local name -> (module, symbol) for every ``from X import Y``.
+
+        Imports anywhere in the file count (the registry imports CLICPolicy
+        inside a function to break an import cycle).
+        """
+        symbols: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    symbols[alias.asname or alias.name] = (node.module, alias.name)
+        return symbols
+
+    def resolve_class(
+        self, ctx: FileContext, name: str
+    ) -> tuple[FileContext, ast.ClassDef] | None:
+        """Resolve *name*, used in *ctx*, to a class definition in the set."""
+        if (ctx.module, name) in self.classes:
+            return self.classes[(ctx.module, name)]
+        target = self.imported_symbols(ctx).get(name)
+        if target is not None and (target[0], target[1]) in self.classes:
+            return self.classes[(target[0], target[1])]
+        return None
+
+    def class_lineage(
+        self, ctx: FileContext, classdef: ast.ClassDef
+    ) -> list[tuple[FileContext, ast.ClassDef]]:
+        """*classdef* plus every base class resolvable inside the set (MRO-ish
+        order, duplicates dropped)."""
+        lineage: list[tuple[FileContext, ast.ClassDef]] = []
+        seen: set[tuple[str, str]] = set()
+        queue: list[tuple[FileContext, ast.ClassDef]] = [(ctx, classdef)]
+        while queue:
+            cur_ctx, cur = queue.pop(0)
+            key = (cur_ctx.module, cur.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            lineage.append((cur_ctx, cur))
+            for base in cur.bases:
+                if isinstance(base, ast.Name):
+                    resolved = self.resolve_class(cur_ctx, base.id)
+                    if resolved is not None:
+                        queue.append(resolved)
+        return lineage
+
+    def is_subclass_of(
+        self, ctx: FileContext, classdef: ast.ClassDef, base_name: str
+    ) -> bool:
+        """Whether *classdef* has *base_name* anywhere in its resolvable
+        lineage (by class name, so fixture files can fake the base)."""
+        for _, cls in self.class_lineage(ctx, classdef):
+            if cls.name == base_name:
+                return True
+            for base in cls.bases:
+                if isinstance(base, ast.Name) and base.id == base_name:
+                    return True
+                if isinstance(base, ast.Attribute) and base.attr == base_name:
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------- rules
+class Rule:
+    """Base of all rules: an id, a one-line summary, a rationale."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.rule_id}>"
+
+
+class FileRule(Rule):
+    def check_file(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# -------------------------------------------------------------- suppressions
+_SUPPRESS_RE = re.compile(r"#\s*lintkit:\s*ignore\[([A-Za-z0-9_-]+)\]\s*(.*)$")
+
+SUPPRESSION_REASON_RULE = "suppression-reason"
+SUPPRESSION_UNUSED_RULE = "suppression-unused"
+
+
+def parse_suppressions(ctx: FileContext) -> list[Suppression]:
+    found: list[Suppression] = []
+    for lineno, line in enumerate(ctx.source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            found.append(
+                Suppression(ctx.relpath, lineno, match.group(1), match.group(2).strip())
+            )
+    return found
+
+
+# ------------------------------------------------------------------- running
+@dataclass
+class RunResult:
+    """Outcome of one lint run."""
+
+    violations: list[Violation]
+    suppressed: list[tuple[Violation, Suppression]]
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def collect_files(paths: Iterable[Path], config: LintConfig) -> list[Path]:
+    """Expand *paths* into the sorted list of ``.py`` files to analyze."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not config.is_exempt(sub.relative_to(path)):
+                    out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(out)
+
+
+def run_paths(
+    paths: Sequence[Path],
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+    select: Sequence[str] | None = None,
+) -> RunResult:
+    """Run the rule set over *paths* and fold in suppressions."""
+    from tools.lintkit.rules import ALL_RULES
+
+    config = config or LintConfig()
+    chosen: list[Rule] = list(rules if rules is not None else ALL_RULES)
+    if select:
+        wanted = set(select)
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+        unknown = wanted - {rule.rule_id for rule in chosen}
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+
+    files = [FileContext(path, config.root) for path in collect_files(paths, config)]
+    project = Project(files, config)
+
+    raw: list[Violation] = []
+    for rule in chosen:
+        if isinstance(rule, FileRule):
+            for ctx in files:
+                raw.extend(rule.check_file(ctx, config))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project, config))
+
+    suppressions: list[Suppression] = []
+    for ctx in files:
+        suppressions.extend(parse_suppressions(ctx))
+
+    by_site = {(s.path, s.line, s.rule_id): s for s in suppressions}
+    used: set[tuple[str, int, str]] = set()
+    violations: list[Violation] = []
+    suppressed: list[tuple[Violation, Suppression]] = []
+    for violation in raw:
+        key = (violation.path, violation.line, violation.rule_id)
+        hit = by_site.get(key)
+        if hit is not None and hit.reason:
+            used.add(key)
+            suppressed.append((violation, hit))
+        else:
+            violations.append(violation)
+
+    for suppression in suppressions:
+        if not suppression.reason:
+            violations.append(
+                Violation(
+                    suppression.path,
+                    suppression.line,
+                    SUPPRESSION_REASON_RULE,
+                    f"suppression of [{suppression.rule_id}] has no reason; "
+                    "write `# lintkit: ignore[rule-id] <why this is safe>`",
+                )
+            )
+        elif (suppression.path, suppression.line, suppression.rule_id) not in used:
+            violations.append(
+                Violation(
+                    suppression.path,
+                    suppression.line,
+                    SUPPRESSION_UNUSED_RULE,
+                    f"suppression of [{suppression.rule_id}] matches no violation "
+                    "on this line; delete it",
+                )
+            )
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return RunResult(violations=violations, suppressed=suppressed, files=len(files))
+
+
+# ------------------------------------------------------------------- helpers
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,112 @@
+"""Family 4 — int-clock-safety.
+
+The queueing simulation keeps its event clock in *integer nanoseconds* (the
+``*_ns`` naming convention: ``busy_ns``, ``total_delay_ns``, ...), because
+float accumulation is order-dependent — summing the same service times in a
+different chunk split would break the bit-identical ``jobs=1 == jobs=N``
+guarantee and the vector==scalar Lindley identity.  Floats are allowed only
+at the boundary, explicitly truncated: ``int(us * 1000.0 + 0.5)`` or numpy's
+``.astype(int64)``.
+
+This rule flags any assignment (plain, augmented or annotated) or return
+that feeds a ``*_ns`` target from an expression containing float arithmetic
+— true division, float literals, ``float()`` — outside such an explicit
+integer coercion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lintkit.core import FileContext, FileRule, LintConfig, Violation, dotted_name
+
+__all__ = ["IntClockFloatRule"]
+
+#: Calls that coerce their result to an integer: float arithmetic *inside*
+#: them is the sanctioned boundary conversion.
+_INT_COERCIONS = {"int", "round", "len"}
+_INT_COERCION_METHODS = {"astype", "bit_length"}
+
+
+def _float_leak(node: ast.AST) -> ast.AST | None:
+    """First sub-expression producing float-ness outside an int coercion."""
+    if isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        if chain in _INT_COERCIONS:
+            return None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _INT_COERCION_METHODS
+        ):
+            return None
+        if chain == "float":
+            return node
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return node
+    for child in ast.iter_child_nodes(node):
+        leak = _float_leak(child)
+        if leak is not None:
+            return leak
+    return None
+
+
+def _ns_target_name(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name) and target.id.endswith("_ns"):
+        return target.id
+    if isinstance(target, ast.Attribute) and target.attr.endswith("_ns"):
+        return ast.unparse(target)
+    return None
+
+
+class IntClockFloatRule(FileRule):
+    """No float arithmetic may feed an integer-nanosecond accumulator."""
+
+    rule_id = "int-clock-float"
+    summary = "*_ns clock variables only ever hold exact integers"
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.endswith("_ns"):
+                    yield from self._check_returns(ctx, node)
+                continue
+            if value is None:
+                continue
+            for target in targets:
+                name = _ns_target_name(target)
+                if name is None:
+                    continue
+                leak = _float_leak(value)
+                if leak is not None:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"float arithmetic (`{ast.unparse(leak)}`) feeds the "
+                        f"integer-nanosecond clock `{name}`; convert at the "
+                        "boundary with `int(x * 1000.0 + 0.5)` (or "
+                        "`.astype(int64)`) instead",
+                    )
+
+    def _check_returns(
+        self, ctx: FileContext, fn: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                leak = _float_leak(node.value)
+                if leak is not None:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"`{fn.name}()` returns float arithmetic "
+                        f"(`{ast.unparse(leak)}`); *_ns values are exact "
+                        "integers — coerce explicitly with int()/round()",
+                    )

@@ -1,0 +1,409 @@
+"""Family 1 — no-nondeterminism.
+
+Replay results must be a pure function of (trace, seed, configuration):
+bit-identical across runs, machines and ``jobs=N`` splits.  Three classes of
+leak are banned outright in library code (wall clocks, ambient randomness,
+OS entropy), and set/frozenset iteration is banned wherever its
+hash-dependent order can flow into an ordering-sensitive sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lintkit.core import FileContext, FileRule, LintConfig, Violation, dotted_name
+
+__all__ = [
+    "EntropySourceRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+
+#: Dotted call chains that read a wall clock.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Dotted call chains that read OS entropy.
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+
+def _call_chain(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+class WallClockRule(FileRule):
+    """Wall-clock reads make replay output depend on when it ran."""
+
+    rule_id = "wall-clock"
+    summary = "no wall-clock reads (time.time, datetime.now, ...) in library code"
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _call_chain(node)
+                if chain in _WALL_CLOCK_CALLS:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"wall-clock read `{chain}()`: replay must be a pure "
+                        "function of (trace, seed, config); thread a logical "
+                        "clock or timestamp through parameters instead",
+                    )
+
+
+class EntropySourceRule(FileRule):
+    """OS entropy can never be replayed."""
+
+    rule_id = "entropy-source"
+    summary = "no OS entropy (os.urandom, uuid.uuid4, secrets.*) in library code"
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _call_chain(node)
+                if chain in _ENTROPY_CALLS:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"OS entropy source `{chain}()`: derive identifiers and "
+                        "draws from the run's seed instead",
+                    )
+
+
+class UnseededRandomRule(FileRule):
+    """Every RNG must be constructed from an explicit seed.
+
+    Flags the module-level ``random.*`` functions (they share one ambient,
+    process-global generator), ``random.Random()`` with no seed argument,
+    and numpy's equivalents (``np.random.<fn>`` legacy global state,
+    ``default_rng()`` without a seed).
+    """
+
+    rule_id = "unseeded-random"
+    summary = "RNGs must be seeded: no bare random.Random() / module-level random.*"
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        # Names imported straight out of the random module, e.g.
+        # ``from random import Random, randint``.
+        from_random: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    from_random[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _call_chain(node)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            # random.Random() / random.SystemRandom() / random.<fn>()
+            if parts[0] == "random" and len(parts) == 2:
+                yield from self._check_random_symbol(ctx, node, parts[1], chain)
+            elif len(parts) == 1 and parts[0] in from_random:
+                yield from self._check_random_symbol(
+                    ctx, node, from_random[parts[0]], chain
+                )
+            # numpy: np.random.<fn>() legacy global state; default_rng()
+            # without a seed argument.
+            elif "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+                symbol = parts[-1]
+                if symbol in ("default_rng", "Generator", "RandomState", "SeedSequence"):
+                    if not node.args and not node.keywords:
+                        yield ctx.violation(
+                            node,
+                            self.rule_id,
+                            f"`{chain}()` without a seed draws OS entropy; pass "
+                            "an explicit seed",
+                        )
+                else:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"`{chain}()` uses numpy's process-global RNG; construct "
+                        "`numpy.random.default_rng(seed)` and pass it through",
+                    )
+
+    def _check_random_symbol(
+        self, ctx: FileContext, node: ast.Call, symbol: str, chain: str
+    ) -> Iterator[Violation]:
+        if symbol == "SystemRandom":
+            yield ctx.violation(
+                node,
+                self.rule_id,
+                f"`{chain}()` is OS-entropy backed and can never be replayed",
+            )
+        elif symbol == "Random":
+            if not node.args and not node.keywords:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"`{chain}()` without a seed is seeded from OS entropy; "
+                    "pass an explicit seed (or accept one as a parameter)",
+                )
+        elif symbol[:1].islower():
+            yield ctx.violation(
+                node,
+                self.rule_id,
+                f"`{chain}()` uses the process-global RNG; construct "
+                "`random.Random(seed)` and pass it through",
+            )
+
+
+class SetIterationRule(FileRule):
+    """Set iteration order is hash-dependent (PYTHONHASHSEED for strings,
+    insertion history for everything else): letting it flow into a list,
+    tuple, join or keyed min/max bakes that order into replay output.
+
+    The rule tracks which local names, parameters and ``self.*`` attributes
+    are provably set-valued (set/frozenset literals, comprehensions,
+    constructors, ``set[...]`` annotations, unions/differences of the same)
+    and flags iteration over them in ordering-sensitive positions:
+
+    * ``for x in <set>:`` statements and ``list``/generator comprehensions;
+    * ``list(<set>)``, ``tuple(<set>)``, ``enumerate(<set>)``,
+      ``iter(<set>)``, ``sep.join(<set>)``;
+    * ``min``/``max`` over a set **with a key function** (ties resolve in
+      iteration order; bare min/max over a totally ordered set is fine).
+
+    ``sorted(<set>)`` is the canonical fix and is always allowed, as are
+    order-insensitive folds (``len``, ``sum``, ``any``, ``all``, membership,
+    set/dict comprehensions producing unordered results).
+    """
+
+    rule_id = "set-iteration"
+    summary = "no set/frozenset iteration into ordering-sensitive sinks; sort first"
+
+    _SINK_CALLS = ("list", "tuple", "enumerate", "iter")
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        # ``self.<attr>`` set-valuedness is a property of the class (assigned
+        # in __init__, iterated in other methods), so resolve each function
+        # scope to its owning class first.
+        owner_class: dict[ast.AST, ast.ClassDef] = {}
+        class_attrs: dict[ast.ClassDef, set[str]] = {}
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                class_attrs[cls] = _set_valued_self_attrs(cls)
+                for item in cls.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        owner_class[item] = cls
+
+        for scope in _function_scopes(ctx.tree):
+            set_names = _set_valued_names(scope)
+            cls = owner_class.get(scope)
+            set_attrs = class_attrs.get(cls, set()) if cls is not None else set()
+
+            def is_set(node: ast.AST) -> bool:
+                return _is_set_valued(node, set_names, set_attrs)
+
+            for node in _walk_shallow_functions(scope):
+                if isinstance(node, ast.For) and is_set(node.iter):
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        "for-loop over a set: iteration order is "
+                        "hash-dependent; iterate `sorted(...)` instead",
+                    )
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if is_set(gen.iter):
+                            yield ctx.violation(
+                                node,
+                                self.rule_id,
+                                "comprehension over a set builds an "
+                                "order-sensitive sequence; iterate "
+                                "`sorted(...)` instead",
+                            )
+                elif isinstance(node, ast.Call):
+                    yield from self._check_call(ctx, node, is_set)
+
+    def _check_call(self, ctx, node: ast.Call, is_set) -> Iterator[Violation]:
+        chain = dotted_name(node.func)
+        first = node.args[0] if node.args else None
+        if first is None:
+            return
+        if chain in self._SINK_CALLS and is_set(first):
+            yield ctx.violation(
+                node,
+                self.rule_id,
+                f"`{chain}(...)` over a set captures hash-dependent order; "
+                "use `sorted(...)`",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and is_set(first)
+        ):
+            yield ctx.violation(
+                node,
+                self.rule_id,
+                "`.join(...)` over a set serializes hash-dependent order; "
+                "use `sorted(...)`",
+            )
+        elif chain in ("min", "max") and is_set(first) and node.keywords:
+            if any(kw.arg == "key" for kw in node.keywords):
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"`{chain}(..., key=...)` over a set resolves ties in "
+                    "iteration order; sort (with a total tiebreak) instead",
+                )
+
+
+# ------------------------------------------------- set-valuedness inference
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+
+
+def _function_scopes(tree: ast.Module) -> list[ast.AST]:
+    return [node for node in ast.walk(tree) if isinstance(node, _SCOPE_NODES)]
+
+
+def _walk_shallow_functions(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function scopes (they are
+    visited as their own scopes)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expressions that are a set by construction."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        if chain in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_set_annotation(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset")
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset")
+    return False
+
+
+def _set_valued_names(scope: ast.AST) -> set[str]:
+    """Local names provably set-valued in *scope* (never reassigned to a
+    non-set)."""
+    set_names: set[str] = set()
+    non_set: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _is_set_annotation(arg.annotation):
+                set_names.add(arg.arg)
+    for node in _walk_shallow_functions(scope):
+        targets: list[ast.expr] = []
+        value: ast.AST | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation):
+                set_names.add(node.target.id)
+            continue
+        elif isinstance(node, ast.AugAssign):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                if _is_set_expr(value):
+                    set_names.add(target.id)
+                else:
+                    non_set.add(target.id)
+    return set_names - non_set
+
+
+def _set_valued_self_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self.<attr>`` names assigned a set expression anywhere in the class
+    body (any method; typically ``__init__``)."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "self"
+            and _is_set_annotation(node.annotation)
+        ):
+            attrs.add(node.target.attr)
+    return attrs
+
+
+def _is_set_valued(
+    node: ast.AST, set_names: set[str], set_attrs: set[str]
+) -> bool:
+    if _is_set_expr(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr in set_attrs
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_valued(node.left, set_names, set_attrs) or _is_set_valued(
+            node.right, set_names, set_attrs
+        )
+    return False

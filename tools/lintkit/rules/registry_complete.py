@@ -1,0 +1,157 @@
+"""Family 5 — registry-completeness.
+
+The registries are the repo's contracts-of-record: every experiment in
+``repro.experiments.registry`` is pinned by a golden fixture, the invariant
+suite derives its policy list from ``repro.cache.registry`` (so new policies
+inherit every law automatically), and every policy class actually appears in
+that registry.  These rules only fire when the relevant registry module is
+part of the analysis set, so fixture runs stay self-contained.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lintkit.core import (
+    FileContext,
+    LintConfig,
+    Project,
+    ProjectRule,
+    Violation,
+)
+from tools.lintkit.rules.kernel_contract import _is_abstract, policy_classes
+
+__all__ = [
+    "RegistryGoldenFixtureRule",
+    "RegistryInvariantSuiteRule",
+    "RegistryPolicyUnregisteredRule",
+    "experiment_ids",
+]
+
+
+def experiment_ids(ctx: FileContext) -> list[tuple[str, ast.AST]]:
+    """Experiment ids: the string keys of the ``EXPERIMENTS`` dict literal."""
+    ids: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(ctx.tree):
+        targets: list[ast.expr] = []
+        value: ast.AST | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "EXPERIMENTS"
+                and isinstance(value, ast.Dict)
+            ):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        ids.append((key.value, key))
+    return ids
+
+
+class RegistryGoldenFixtureRule(ProjectRule):
+    """Every registered experiment has a golden fixture pinning its output."""
+
+    rule_id = "registry-golden-fixture"
+    summary = "every experiment in the registry has a golden JSON fixture"
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Violation]:
+        ctx = project.modules.get(config.experiment_registry_module)
+        if ctx is None:
+            return
+        golden_dir = Path(config.root) / config.golden_dir
+        for experiment_id, node in experiment_ids(ctx):
+            fixture = golden_dir / f"{experiment_id}.json"
+            if not fixture.is_file():
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"experiment `{experiment_id}` has no golden fixture "
+                    f"`{config.golden_dir}/{experiment_id}.json`; run "
+                    "`PYTHONPATH=src python tools/regen_golden.py "
+                    f"{experiment_id}`",
+                )
+
+
+class RegistryInvariantSuiteRule(ProjectRule):
+    """The invariant suite must derive its policy list from the registry
+    (``available_policies``), so new registrations are automatically held to
+    the cross-policy laws — a hardcoded list silently exempts them."""
+
+    rule_id = "registry-invariant-suite"
+    summary = "the invariant suite derives its policy list from the registry"
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Violation]:
+        registry_ctx = project.modules.get(config.policy_registry_module)
+        if registry_ctx is None:
+            return
+        suite_path = Path(config.root) / config.invariant_suite
+        if not suite_path.is_file():
+            yield registry_ctx.violation(
+                1,
+                self.rule_id,
+                f"registry-invariant suite `{config.invariant_suite}` does "
+                "not exist",
+            )
+            return
+        suite = ast.parse(suite_path.read_text(encoding="utf-8"))
+        imported = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == config.policy_registry_module
+            and any(alias.name == "available_policies" for alias in node.names)
+            for node in ast.walk(suite)
+        )
+        called = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "available_policies"
+            for node in ast.walk(suite)
+        )
+        if not (imported and called):
+            yield registry_ctx.violation(
+                1,
+                self.rule_id,
+                f"`{config.invariant_suite}` must import and call "
+                f"`available_policies` from `{config.policy_registry_module}` "
+                "so every registered policy inherits the invariant laws",
+            )
+
+
+class RegistryPolicyUnregisteredRule(ProjectRule):
+    """A policy class nobody registered is a policy no invariant suite,
+    sweep or experiment will ever exercise."""
+
+    rule_id = "registry-policy-unregistered"
+    summary = "every concrete policy class appears in the policy registry"
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Violation]:
+        registry_ctx = project.modules.get(config.policy_registry_module)
+        if registry_ctx is None:
+            return
+        mentioned = {
+            node.id
+            for node in ast.walk(registry_ctx.tree)
+            if isinstance(node, ast.Name)
+        }
+        for ctx, cls in policy_classes(project):
+            if _is_abstract(cls):
+                continue
+            if cls.name not in mentioned:
+                yield ctx.violation(
+                    cls,
+                    self.rule_id,
+                    f"policy class `{cls.name}` is never mentioned in "
+                    f"`{config.policy_registry_module}`; register it (or a "
+                    "factory producing it) so sweeps and the invariant suite "
+                    "can reach it",
+                )

@@ -1,0 +1,62 @@
+"""Family 6 — typing-gate.
+
+The replay core (``repro.cache``, ``repro.simulation``, ``repro.trace``) is
+strictly typed: every function and method carries complete parameter and
+return annotations.  This rule is the always-on, dependency-free floor under
+the mypy gate configured in ``pyproject.toml`` — mypy (run in CI) checks the
+annotations are *consistent*; this rule guarantees they *exist*, so
+un-annotated code can't silently fall out of mypy's strict coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lintkit.core import FileContext, FileRule, LintConfig, Violation
+
+__all__ = ["TypingAnnotationsRule"]
+
+#: Dunders whose return type is fixed by the language; annotating them adds
+#: nothing and ``__init__``'s implicit None is idiomatic.
+_RETURN_EXEMPT = {"__init__", "__init_subclass__", "__class_getitem__"}
+
+
+class TypingAnnotationsRule(FileRule):
+    """Complete parameter/return annotations in the strict packages."""
+
+    rule_id = "typing-annotations"
+    summary = "strict packages: every def has full parameter + return annotations"
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> Iterator[Violation]:
+        if not any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in config.strict_typing_packages
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            missing = [
+                arg.arg
+                for arg in args.posonlyargs + args.args + args.kwonlyargs
+                if arg.annotation is None and arg.arg not in ("self", "cls")
+            ]
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"`{node.name}` is missing parameter annotations: "
+                    + ", ".join(f"`{name}`" for name in missing),
+                )
+            if node.returns is None and node.name not in _RETURN_EXEMPT:
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"`{node.name}` is missing a return annotation",
+                )
