@@ -16,11 +16,19 @@ of regenerating the artifact end-to-end (trace generation + simulation).
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 from repro.experiments.common import ExperimentSettings
 
-__all__ = ["BENCH_SETTINGS", "print_sweep", "print_rows"]
+__all__ = [
+    "BENCH_SETTINGS",
+    "emit_bench_json",
+    "print_sweep",
+    "print_rows",
+    "usable_cpus",
+]
 
 _DEFAULT_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "60000"))
 _DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "17"))
@@ -32,6 +40,39 @@ _DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 BENCH_SETTINGS = ExperimentSettings(
     target_requests=_DEFAULT_REQUESTS, seed=_DEFAULT_SEED, jobs=_DEFAULT_JOBS
 )
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def emit_bench_json(path, bench: str, grid: dict, seconds: dict, **extra):
+    """Write one gate benchmark's ``BENCH_*.json`` timing record.
+
+    Every gate bench routes its artifact through here (the ROADMAP's
+    record-every-PR rule), so emission cannot be skipped silently: the
+    record always carries the bench name, the measured grid, the usable CPU
+    count and the per-path timings; gate results and baselines ride along
+    as keyword extras.  An empty *path* skips the write (the ``--json ''``
+    convention) and returns ``None``.
+    """
+    if not path:
+        return None
+    record = {
+        "bench": bench,
+        "grid": grid,
+        "usable_cpus": usable_cpus(),
+        "seconds": {name: round(s, 4) for name, s in seconds.items()},
+    }
+    record.update(extra)
+    out = Path(path)
+    out.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return out
 
 
 def print_sweep(title: str, sweep) -> None:

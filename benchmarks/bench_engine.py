@@ -41,6 +41,19 @@ move or ``--json ''`` to skip) recording the measured timings next to the
 pre-refactor baseline captured on the machine that ran the refactor, so the
 perf trajectory of the replay core is tracked in version control.
 
+A second, columnar four-way follows: the batch-kernel grid (LRU / FIFO /
+CLOCK — the policies with fused ``batch_access`` kernels) is swept four
+ways over the same cached binary trace — object serial, object ``jobs=N``,
+columnar serial, columnar ``jobs=N`` — with two gates:
+
+* **columnar identity** — all four paths must produce identical per-point
+  hit/miss stats: the columnar path is a pure fast path, never a fork;
+* **columnar speedup** — columnar serial must replay at >=
+  ``--columnar-gate`` (default 3.0x) the object-serial throughput.
+
+The columnar section writes ``BENCH_9.json`` (``--json9``, same
+conventions) via :func:`bench_common.emit_bench_json`.
+
 Run it standalone (CI runs this as a smoke test)::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --requests 20000
@@ -49,20 +62,26 @@ Run it standalone (CI runs this as a smoke test)::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 from pathlib import Path
 
+from bench_common import emit_bench_json, usable_cpus
+
 from repro.cache.base import CacheStats
 from repro.cache.registry import create_policy
-from repro.experiments.common import ExperimentSettings, generate_trace
+from repro.experiments.common import ExperimentSettings, generate_trace, trace_spec
+from repro.simulation.engine import ParallelSweepRunner, PolicySpec, SweepCell
 from repro.simulation.simulator import CacheSimulator
 from repro.simulation.sweep import sweep_cache_sizes
 
 DEFAULT_POLICIES = ("OPT", "LRU", "ARC", "TQ")
 DEFAULT_SIZES = (450, 900, 1_800, 3_600)
+#: The columnar four-way grid: every policy with a fused batch kernel.
+COLUMNAR_POLICIES = ("LRU", "FIFO", "CLOCK")
+#: Columnar-speedup gate: columnar serial must replay at this multiple of
+#: the object-serial throughput (ISSUE 9 acceptance floor).
+COLUMNAR_SPEEDUP_GATE = 3.0
 
 #: The last pre-refactor run of this benchmark (policies owned their stats,
 #: CacheSimulator had its own replay loop), captured with the CI settings
@@ -123,11 +142,41 @@ def engine_sweep(requests, cache_sizes, policies, jobs):
     return {name: sweep.curve(name) for name in policies}
 
 
-def usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
+def columnar_four_way(spec, cache_sizes, policies, jobs, repeat):
+    """Sweep the batch-kernel grid object/columnar x serial/jobs=N.
+
+    Returns ``(timings, sweeps)``: best-of-*repeat* seconds and the
+    :class:`SweepResult` per path, all replayed from the same cached binary
+    trace so the columnar path decodes straight into arrays.
+    """
+    cells = [
+        SweepCell(
+            x=float(capacity),
+            specs=tuple(
+                PolicySpec(label=name, name=name, capacity=capacity)
+                for name in policies
+            ),
+        )
+        for capacity in cache_sizes
+    ]
+    paths = {
+        "object serial": dict(jobs=1, columnar=False),
+        f"object jobs={jobs}": dict(jobs=jobs, columnar=False),
+        "columnar serial": dict(jobs=1, columnar=True),
+        f"columnar jobs={jobs}": dict(jobs=jobs, columnar=True),
+    }
+    timings, sweeps = {}, {}
+    for label, options in paths.items():
+        best = None
+        for _ in range(max(1, repeat)):
+            runner = ParallelSweepRunner(requests=spec, **options)
+            started = time.perf_counter()
+            sweep = runner.run(cells, parameter="capacity")
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best, sweeps[label] = elapsed, sweep
+        timings[label] = best
+    return timings, sweeps
 
 
 def main(argv=None) -> int:
@@ -151,6 +200,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", default=str(Path(__file__).resolve().parent.parent / "BENCH_6.json"),
         help="where to write the timing record (empty string to skip)",
+    )
+    parser.add_argument(
+        "--json9",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_9.json"),
+        help="where to write the columnar four-way record (empty string to skip)",
+    )
+    parser.add_argument(
+        "--columnar-gate", type=float, default=COLUMNAR_SPEEDUP_GATE,
+        help="columnar serial must be this multiple of object serial "
+             f"(default: {COLUMNAR_SPEEDUP_GATE})",
     )
     parser.add_argument(
         "--no-check", action="store_true",
@@ -223,28 +282,77 @@ def main(argv=None) -> int:
     print(f"observer dispatch overhead: {overhead:.3f}x of the seed loop "
           f"(gate {OVERHEAD_GATE:.2f}x)")
 
-    if args.json:
-        record = {
-            "bench": "bench_engine",
-            "grid": {
-                "trace": args.trace,
-                "requests": len(requests),
-                "policies": list(policies),
-                "sizes": list(sizes),
-                "repeat": args.repeat,
-            },
-            "usable_cpus": cpus,
-            "seconds": {path: round(s, 4) for path, s in timings.items()},
-            "observer_dispatch_overhead": round(overhead, 4),
-            "overhead_gate": OVERHEAD_GATE,
-            "shared_replay_overhead": round(shared_overhead, 4),
-            "best_speedup": round(best_speedup, 4),
-            "pre_refactor_baseline": PRE_REFACTOR_BASELINE,
-        }
-        Path(args.json).write_text(
-            json.dumps(record, indent=1) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {args.json}")
+    emit_bench_json(
+        args.json,
+        "bench_engine",
+        {
+            "trace": args.trace,
+            "requests": len(requests),
+            "policies": list(policies),
+            "sizes": list(sizes),
+            "repeat": args.repeat,
+        },
+        timings,
+        observer_dispatch_overhead=round(overhead, 4),
+        overhead_gate=OVERHEAD_GATE,
+        shared_replay_overhead=round(shared_overhead, 4),
+        best_speedup=round(best_speedup, 4),
+        pre_refactor_baseline=PRE_REFACTOR_BASELINE,
+    )
+
+    # --- Columnar four-way: the batch-kernel grid, object vs columnar.
+    spec = trace_spec(args.trace, settings)
+    spec.ensure()
+    columnar_policies = tuple(p for p in COLUMNAR_POLICIES)
+    col_timings, col_sweeps = columnar_four_way(
+        spec, sizes, columnar_policies, args.jobs, args.repeat
+    )
+
+    # Hard identity gate: every path yields identical per-point stats.
+    reference_label = "object serial"
+    reference = col_sweeps[reference_label]
+    columnar_identical = True
+    for label, sweep in col_sweeps.items():
+        if sweep.labels() != reference.labels():
+            print(f"FAIL: {label!r} swept different policies than the object path")
+            columnar_identical = False
+            continue
+        for name in reference.labels():
+            if sweep.curve(name) != reference.curve(name):
+                print(f"FAIL: {label!r} {name} hit-ratio curve diverged")
+                columnar_identical = False
+            for a, b in zip(sweep.series[name], reference.series[name]):
+                if a.result.stats.as_dict() != b.result.stats.as_dict():
+                    print(f"FAIL: {label!r} {name} x={a.x:g} stats diverged")
+                    columnar_identical = False
+    if columnar_identical:
+        print("\ncolumnar output: identical across all four paths")
+
+    col_baseline = col_timings[reference_label]
+    print(f"\n{'path':<20} {'seconds':>8} {'speedup':>8}   (columnar grid: "
+          f"{len(columnar_policies)} policies x {len(sizes)} sizes)")
+    for path, seconds in col_timings.items():
+        print(f"{path:<20} {seconds:>8.3f} {col_baseline / seconds:>7.2f}x")
+    columnar_speedup = col_baseline / col_timings["columnar serial"]
+    print(f"columnar serial speedup: {columnar_speedup:.2f}x "
+          f"(gate >= {args.columnar_gate:.2f}x)")
+
+    emit_bench_json(
+        args.json9,
+        "bench_engine_columnar",
+        {
+            "trace": args.trace,
+            "requests": len(requests),
+            "policies": list(columnar_policies),
+            "sizes": list(sizes),
+            "repeat": args.repeat,
+            "jobs": args.jobs,
+        },
+        col_timings,
+        columnar_identical=columnar_identical,
+        columnar_speedup=round(columnar_speedup, 4),
+        columnar_speedup_gate=args.columnar_gate,
+    )
 
     if args.no_check:
         return 0
@@ -271,6 +379,13 @@ def main(argv=None) -> int:
     if best_speedup < threshold:
         print(f"FAIL: best speedup {best_speedup:.2f}x below {threshold:.2f}x "
               f"threshold for {cpus} CPU(s)")
+        ok = False
+    if not columnar_identical:
+        print("FAIL: columnar path diverged from the object path")
+        ok = False
+    if columnar_speedup < args.columnar_gate:
+        print(f"FAIL: columnar serial speedup {columnar_speedup:.2f}x below "
+              f"the {args.columnar_gate:.2f}x gate")
         ok = False
     if ok:
         print(f"PASS: best speedup {best_speedup:.2f}x "

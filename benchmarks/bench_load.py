@@ -35,11 +35,11 @@ Run it standalone::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
 import time
 from pathlib import Path
+
+from bench_common import emit_bench_json
 
 from repro.experiments.common import ExperimentSettings, generate_trace
 from repro.experiments.latency import _policy_spec
@@ -50,13 +50,6 @@ from repro.workloads.standard import STANDARD_TRACES
 #: The load experiment's default grid: every policy unified and sharded.
 DEFAULT_POLICIES = ("CLIC", "ARC", "LRU")
 DEFAULT_SHARDS = 4
-
-
-def usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def main(argv=None) -> int:
@@ -179,32 +172,27 @@ def main(argv=None) -> int:
         f"(median {median_ratio:.3f}x, gate: < {args.max_overhead:.2f}x)"
     )
 
-    if args.json:
-        record = {
-            "bench": "bench_load",
-            "grid": {
-                "trace": args.trace,
-                "requests": len(requests),
-                "policies": list(policies),
-                "shards": shard_variants,
-                "cache_size": args.cache_size,
-                "offered_load": args.offered_load,
-                "repeat": args.repeat,
-            },
-            "usable_cpus": usable_cpus(),
-            "seconds": {
-                "plain replay": round(plain_best, 4),
-                "queued replay": round(queued_best, 4),
-            },
-            "queueing_observer_overhead": round(overhead, 4),
-            "median_paired_ratio": round(median_ratio, 4),
-            "paired_round_ratios": [round(r, 4) for r in ratios],
-            "overhead_gate": args.max_overhead,
-        }
-        Path(args.json).write_text(
-            json.dumps(record, indent=1) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {args.json}")
+    emit_bench_json(
+        args.json,
+        "bench_load",
+        {
+            "trace": args.trace,
+            "requests": len(requests),
+            "policies": list(policies),
+            "shards": shard_variants,
+            "cache_size": args.cache_size,
+            "offered_load": args.offered_load,
+            "repeat": args.repeat,
+        },
+        {
+            "plain replay": plain_best,
+            "queued replay": queued_best,
+        },
+        queueing_observer_overhead=round(overhead, 4),
+        median_paired_ratio=round(median_ratio, 4),
+        paired_round_ratios=[round(r, 4) for r in ratios],
+        overhead_gate=args.max_overhead,
+    )
 
     if overhead >= args.max_overhead:
         print("FAIL: queueing observer overhead exceeds the gate")

@@ -21,15 +21,22 @@ import abc
 import copy
 import warnings
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from typing import TYPE_CHECKING
 
+try:  # optional acceleration for the batch kernel path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = [
     "AccessOutcome",
+    "AccessOutcomeBatch",
     "HIT",
     "MISS_ADMIT",
     "MISS_BYPASS",
@@ -117,6 +124,132 @@ HIT = AccessOutcome(True)
 MISS_ADMIT = AccessOutcome(False, admitted=True)
 #: Miss, page deliberately not admitted.
 MISS_BYPASS = AccessOutcome(False, bypassed=True)
+
+
+class AccessOutcomeBatch:
+    """One :class:`AccessOutcome` per request of a chunk, as columns.
+
+    The batch-kernel analogue of :class:`AccessOutcome`: ``hit``,
+    ``admitted`` and ``bypassed`` are numpy bool arrays (one lane per
+    request), and evictions are stored CSR-style — ``evicted_pages`` holds
+    every evicted page in request order, ``evicted_offsets`` (length
+    ``n + 1``) delimits request *i*'s evictions as
+    ``evicted_pages[evicted_offsets[i]:evicted_offsets[i + 1]]``.
+
+    :meth:`outcomes` reconstructs the exact per-request outcome objects
+    (memoised), so scalar consumers see the same event stream either way;
+    :meth:`from_outcomes` lifts a scalar outcome list into a batch (the
+    default :meth:`CachePolicy.batch_access` fallback uses it).
+    """
+
+    __slots__ = ("hit", "admitted", "bypassed", "evicted_pages", "evicted_offsets", "_outcomes")
+
+    def __init__(
+        self,
+        hit: Any,
+        admitted: Any,
+        bypassed: Any,
+        evicted_pages: Any,
+        evicted_offsets: Any,
+    ):
+        self.hit = hit
+        self.admitted = admitted
+        self.bypassed = bypassed
+        self.evicted_pages = evicted_pages
+        self.evicted_offsets = evicted_offsets
+        self._outcomes: list[AccessOutcome] | None = None
+
+    def __len__(self) -> int:
+        return len(self.hit)
+
+    @property
+    def eviction_count(self) -> int:
+        """Total pages evicted across the batch."""
+        return len(self.evicted_pages)
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Sequence[AccessOutcome]) -> "AccessOutcomeBatch":
+        """Lift a scalar outcome list into a batch (memoising the list)."""
+        if _np is None:  # pragma: no cover - batch paths require numpy
+            raise RuntimeError("AccessOutcomeBatch requires numpy")
+        n = len(outcomes)
+        hit = _np.fromiter((outcome.hit for outcome in outcomes), _np.bool_, n)
+        admitted = _np.fromiter(
+            (outcome.admitted for outcome in outcomes), _np.bool_, n
+        )
+        bypassed = _np.fromiter(
+            (outcome.bypassed for outcome in outcomes), _np.bool_, n
+        )
+        offsets = _np.zeros(n + 1, _np.int64)
+        _np.cumsum(
+            _np.fromiter((len(outcome.evicted) for outcome in outcomes), _np.int64, n),
+            out=offsets[1:],
+        )
+        total = int(offsets[-1])
+        if total:
+            pages = _np.fromiter(
+                (
+                    page
+                    for outcome in outcomes
+                    for page in outcome.evicted
+                ),
+                _np.int64,
+                total,
+            )
+        else:
+            pages = _np.zeros(0, _np.int64)
+        batch = cls(hit, admitted, bypassed, pages, offsets)
+        batch._outcomes = list(outcomes)
+        return batch
+
+    def outcome(self, i: int) -> AccessOutcome:
+        """Reconstruct request *i*'s scalar outcome."""
+        start = int(self.evicted_offsets[i])
+        stop = int(self.evicted_offsets[i + 1])
+        hit = bool(self.hit[i])
+        admitted = bool(self.admitted[i])
+        bypassed = bool(self.bypassed[i])
+        if start == stop:
+            if hit and not admitted and not bypassed:
+                return HIT
+            if admitted and not hit and not bypassed:
+                return MISS_ADMIT
+            if bypassed and not hit and not admitted:
+                return MISS_BYPASS
+            return AccessOutcome(hit, admitted=admitted, bypassed=bypassed)
+        evicted = tuple(int(page) for page in self.evicted_pages[start:stop])
+        return AccessOutcome(hit, admitted=admitted, bypassed=bypassed, evicted=evicted)
+
+    def outcomes(self) -> list[AccessOutcome]:
+        """Materialise the equivalent scalar outcome list (memoised)."""
+        if self._outcomes is None:
+            self._outcomes = [self.outcome(i) for i in range(len(self))]
+        return self._outcomes
+
+
+def _admit_batch(
+    hit_flags: bytearray, evict_pos: list[int], evicted: list[int]
+) -> AccessOutcomeBatch:
+    """Assemble a batch for always-admit kernels (LRU/FIFO/CLOCK shape).
+
+    ``hit_flags`` holds 0/1 per request; every miss admits, nothing is
+    bypassed, and request ``evict_pos[k]`` evicted page ``evicted[k]`` (at
+    most one eviction per access).
+    """
+    if _np is None:  # pragma: no cover - batch paths require numpy
+        raise RuntimeError("AccessOutcomeBatch requires numpy")
+    n = len(hit_flags)
+    hit = _np.frombuffer(bytes(hit_flags), dtype=_np.bool_)
+    bypassed = _np.zeros(n, _np.bool_)
+    offsets = _np.zeros(n + 1, _np.int64)
+    if evicted:
+        counts = _np.zeros(n, _np.int64)
+        counts[evict_pos] = 1
+        _np.cumsum(counts, out=offsets[1:])
+        pages = _np.array(evicted, _np.int64)
+    else:
+        pages = _np.zeros(0, _np.int64)
+    return AccessOutcomeBatch(hit, ~hit, bypassed, pages, offsets)
 
 
 @dataclass
@@ -289,6 +422,24 @@ class CachePolicy(abc.ABC):
         the returned :class:`AccessOutcome`; all statistics are derived from
         outcomes by the replay observers.
         """
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        """Process one columnar chunk of requests; return batched outcomes.
+
+        **Batch kernel contract**: the returned batch must be
+        outcome-for-outcome identical to calling :meth:`access` on each of
+        the chunk's requests in order (with the chunk's own sequence
+        numbers), and must leave the policy in the identical state.  The
+        default implementation *is* that scalar loop — it materialises the
+        chunk's requests and folds the outcomes — so overriding is purely a
+        performance fast path, never a semantic one.  Every override must be
+        covered by the scalar==batch equivalence suite
+        (``tests/cache/test_batch_parity.py``); lintkit's
+        ``batch-kernel-parity`` rule enforces this.
+        """
+        requests = chunk.requests()
+        outcomes = list(map(self.access, requests, chunk.seq.tolist()))
+        return AccessOutcomeBatch.from_outcomes(outcomes)
 
     @abc.abstractmethod
     def contains(self, page: int) -> bool:

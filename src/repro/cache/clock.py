@@ -9,11 +9,19 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
+from repro.cache.base import (
+    HIT,
+    MISS_ADMIT,
+    AccessOutcome,
+    AccessOutcomeBatch,
+    CachePolicy,
+    _admit_batch,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = ["ClockPolicy"]
 
@@ -56,6 +64,45 @@ class ClockPolicy(CachePolicy):
                 self._ref[page] = False
                 self._hand = (self._hand + 1) % self.capacity
                 return AccessOutcome(False, admitted=True, evicted=(victim,))
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        # Fused batch kernel mirroring access() operation for operation (the
+        # hand is kept in a local and written back once); pinned
+        # bit-identical by tests/cache/test_batch_parity.py.
+        frames = self._frames
+        ref = self._ref
+        index = self._index
+        capacity = self._capacity
+        hand = self._hand
+        hit_flags = bytearray(len(chunk))
+        evict_pos: list[int] = []
+        evicted: list[int] = []
+        for i, page in enumerate(chunk.page.tolist()):
+            if page in ref:
+                ref[page] = True
+                hit_flags[i] = 1
+            elif len(frames) < capacity:
+                index[page] = len(frames)
+                frames.append(page)
+                ref[page] = False
+            else:
+                while True:
+                    victim = frames[hand]
+                    if ref[victim]:
+                        ref[victim] = False
+                        hand = (hand + 1) % capacity
+                    else:
+                        del ref[victim]
+                        del index[victim]
+                        frames[hand] = page
+                        index[page] = hand
+                        ref[page] = False
+                        hand = (hand + 1) % capacity
+                        evicted.append(victim)
+                        evict_pos.append(i)
+                        break
+        self._hand = hand
+        return _admit_batch(hit_flags, evict_pos, evicted)
 
     def contains(self, page: int) -> bool:
         return page in self._ref

@@ -9,11 +9,19 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import HIT, MISS_ADMIT, AccessOutcome, CachePolicy
+from repro.cache.base import (
+    HIT,
+    MISS_ADMIT,
+    AccessOutcome,
+    AccessOutcomeBatch,
+    CachePolicy,
+    _admit_batch,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = ["FIFOPolicy"]
 
@@ -39,6 +47,25 @@ class FIFOPolicy(CachePolicy):
             return AccessOutcome(False, admitted=True, evicted=(victim,))
         pages[page] = None
         return MISS_ADMIT
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        # Fused batch kernel mirroring access() operation for operation;
+        # pinned bit-identical by tests/cache/test_batch_parity.py.
+        pages = self._pages
+        capacity = self._capacity
+        popitem = pages.popitem
+        hit_flags = bytearray(len(chunk))
+        evict_pos: list[int] = []
+        evicted: list[int] = []
+        for i, page in enumerate(chunk.page.tolist()):
+            if page in pages:
+                hit_flags[i] = 1
+            else:
+                if len(pages) >= capacity:
+                    evicted.append(popitem(last=False)[0])
+                    evict_pos.append(i)
+                pages[page] = None
+        return _admit_batch(hit_flags, evict_pos, evicted)
 
     def contains(self, page: int) -> bool:
         return page in self._pages

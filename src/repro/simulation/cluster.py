@@ -37,14 +37,20 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
-from repro.cache.base import AccessOutcome, CachePolicy
+try:  # optional acceleration for the columnar replay path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+from repro.cache.base import AccessOutcome, AccessOutcomeBatch, CachePolicy
 from repro.cache.opt import OPTPolicy
 from repro.simulation.multiclient import partition_capacity
 
 if TYPE_CHECKING:  # imported for type annotations only
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = [
     "ShardRouter",
@@ -83,6 +89,21 @@ class ShardRouter(abc.ABC):
     def route(self, request: IORequest) -> int:
         """Return the shard index in ``range(self.shards)`` for *request*."""
 
+    def route_batch(self, chunk: "ColumnarChunk") -> Any:
+        """Vector route: one shard index per request of *chunk* (int64).
+
+        Must agree element-for-element with :meth:`route` applied to the
+        chunk's requests in order.  The default implementation *is* that
+        scalar loop; subclasses override it where the routing function
+        vectorises.
+        """
+        route = self.route
+        return _np.fromiter(
+            (route(request) for request in chunk.requests()),
+            _np.int64,
+            len(chunk),
+        )
+
     def reset(self) -> None:
         """Drop any per-stream routing state (for stateless routers: no-op).
 
@@ -116,6 +137,17 @@ class HashRouter(ShardRouter):
     def route(self, request: IORequest) -> int:
         return _mix_page(request.page) % self.shards
 
+    def route_batch(self, chunk: "ColumnarChunk") -> Any:
+        # The wrapping uint64 pipeline is exact — identical to the scalar
+        # _mix_page — so vector and scalar routing always agree.
+        pages = chunk.page.astype(_np.uint64)
+        pages ^= pages >> _np.uint64(33)
+        pages *= _np.uint64(0xFF51AFD7ED558CCD)
+        pages ^= pages >> _np.uint64(33)
+        pages *= _np.uint64(0xC4CEB9FE1A85EC53)
+        pages ^= pages >> _np.uint64(33)
+        return (pages % _np.uint64(self.shards)).astype(_np.int64)
+
 
 class PageRangeRouter(ShardRouter):
     """Contiguous page-range routing: shard i owns pages [i*span/S, (i+1)*span/S).
@@ -142,6 +174,16 @@ class PageRangeRouter(ShardRouter):
         if shard >= self.shards:
             return self.shards - 1
         return shard
+
+    def route_batch(self, chunk: "ColumnarChunk") -> Any:
+        page = chunk.page
+        if len(page) and int(page.max()) > (2**63 - 1) // self.shards:
+            # page * shards would overflow an int64 lane; the scalar loop
+            # carries arbitrary-precision Python ints.
+            return ShardRouter.route_batch(self, chunk)
+        # numpy's int64 floor division rounds toward -inf exactly like
+        # Python's //, so clamping matches the scalar branches.
+        return _np.clip(page * self.shards // self.span, 0, self.shards - 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PageRangeRouter(shards={self.shards}, span={self.span})"
@@ -172,6 +214,22 @@ class ClientAffinityRouter(ShardRouter):
             shard = len(self._assignments) % self.shards
             self._assignments[client_id] = shard
         return shard
+
+    def route_batch(self, chunk: "ColumnarChunk") -> Any:
+        # Same first-appearance round-robin as route(), driven from the
+        # client-index column (no request materialisation).
+        assignments = self._assignments
+        clients = chunk.clients
+        shards = self.shards
+        out = _np.empty(len(chunk), _np.int64)
+        for i, cidx in enumerate(chunk.client_idx.tolist()):
+            client_id = clients[cidx]
+            shard = assignments.get(client_id)
+            if shard is None:
+                shard = len(assignments) % shards
+                assignments[client_id] = shard
+            out[i] = shard
+        return out
 
     def reset(self) -> None:
         self._assignments.clear()
@@ -274,6 +332,53 @@ class ShardedCache(CachePolicy):
 
     def access(self, request: IORequest, seq: int) -> AccessOutcome:
         return self._shards[self._router.route(request)].access(request, seq)
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        """Batch kernel: route the whole chunk, then batch per shard.
+
+        Each shard receives its requests as a gathered sub-chunk in original
+        order, carrying the original (global) sequence numbers — exactly the
+        sub-stream the scalar loop would feed it — and the per-shard batches
+        are scattered back into request order.  When any shard policy lacks
+        a batch fast path the whole cluster falls back to the scalar-loop
+        default (per-shard gathering would only add overhead).
+        """
+        base = CachePolicy.batch_access
+        if any(type(shard).batch_access is base for shard in self._shards):
+            return base(self, chunk)
+        shard_ids = self._router.route_batch(chunk)
+        n = len(chunk)
+        hit = _np.zeros(n, _np.bool_)
+        admitted = _np.zeros(n, _np.bool_)
+        bypassed = _np.zeros(n, _np.bool_)
+        counts = _np.zeros(n, _np.int64)
+        evicting: list[tuple[Any, AccessOutcomeBatch]] = []
+        for s, shard in enumerate(self._shards):
+            idx = _np.flatnonzero(shard_ids == s)
+            if not idx.size:
+                continue
+            batch = shard.batch_access(chunk.take(idx))
+            hit[idx] = batch.hit
+            admitted[idx] = batch.admitted
+            bypassed[idx] = batch.bypassed
+            counts[idx] = _np.diff(batch.evicted_offsets)
+            if batch.eviction_count:
+                evicting.append((idx, batch))
+        offsets = _np.zeros(n + 1, _np.int64)
+        _np.cumsum(counts, out=offsets[1:])
+        pages = _np.zeros(int(offsets[-1]), _np.int64)
+        for idx, batch in evicting:
+            sub_offsets = batch.evicted_offsets
+            sub_counts = _np.diff(sub_offsets)
+            for local in _np.flatnonzero(sub_counts).tolist():
+                request_i = int(idx[local])
+                start = int(offsets[request_i])
+                sub_start = int(sub_offsets[local])
+                span = int(sub_counts[local])
+                pages[start : start + span] = batch.evicted_pages[
+                    sub_start : sub_start + span
+                ]
+        return AccessOutcomeBatch(hit, admitted, bypassed, pages, offsets)
 
     def contains(self, page: int) -> bool:
         return any(shard.contains(page) for shard in self._shards)

@@ -520,6 +520,21 @@ class CostAccumulator:
                 self._latency.total_write_us += self._seek_to(request.page)
         return None
 
+    @property
+    def class_counting(self) -> bool:
+        """Whether pricing is purely by outcome class (position-independent
+        device): :meth:`charge` only bumps counters, so batch consumers may
+        fold whole-chunk counts via :meth:`charge_counts` instead.  False on
+        seek-aware devices, whose pricing depends on per-request order."""
+        return self._miss_const_us is not None
+
+    def charge_counts(self, read_hits: int, read_misses: int, writes: int) -> None:
+        """Batch equivalent of *n* :meth:`charge` calls on a class-counting
+        accumulator.  Only valid when :attr:`class_counting` is true."""
+        self._read_hits += read_hits
+        self._read_misses += read_misses
+        self._writes += writes
+
     def price(self, request: "IORequest", hit: bool) -> float:
         """The service time (us) :meth:`charge` would record for this event.
 

@@ -48,6 +48,11 @@ from itertools import islice
 from math import gcd
 from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
+try:  # optional acceleration; the object path is bit-identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 from repro.cache.base import CachePolicy, CacheStats
 from repro.cache.registry import create_policy
 from repro.simulation.costmodel import CostModel
@@ -65,6 +70,7 @@ from repro.simulation.observers import (
 )
 from repro.simulation.queueing import QueueingModel
 from repro.simulation.request import IORequest, RequestKind
+from repro.trace.columnar import ColumnarChunk, columnar_chunks
 
 __all__ = [
     "MultiPolicySimulator",
@@ -146,6 +152,42 @@ def _split_chunks_at_windows(
             offset += take
 
 
+def _iter_columnar_chunks(
+    source: RequestSource, chunk_size: int, start_seq: int
+) -> Iterator[ColumnarChunk]:
+    """Yield *source* as columnar chunks.
+
+    Sources exposing ``iter_columnar()`` (:class:`StreamedTrace`,
+    :class:`~repro.trace.cache.TraceSpec`,
+    :class:`~repro.trace.columnar.ColumnarSource`) decode straight into
+    arrays; anything else is replayed through the object chunker and lifted
+    with :meth:`ColumnarChunk.from_requests` (correct, but no faster than
+    the object path — it exists so ``columnar=True`` works on any source).
+    """
+    if hasattr(source, "iter_columnar"):
+        yield from source.iter_columnar()
+        return
+    yield from columnar_chunks(_iter_request_chunks(source, chunk_size), start_seq)
+
+
+def _split_columnar_at_windows(
+    chunks: Iterator[ColumnarChunk], window: int, start_seq: int
+) -> Iterator[ColumnarChunk]:
+    """Columnar twin of :func:`_split_chunks_at_windows` (slices are views)."""
+    seq = start_seq
+    for chunk in chunks:
+        offset, length = 0, len(chunk)
+        while offset < length:
+            room = window - (seq % window)
+            take = min(room, length - offset)
+            if offset == 0 and take == length:
+                yield chunk
+            else:
+                yield chunk.slice(offset, offset + take)
+            seq += take
+            offset += take
+
+
 class MultiPolicySimulator:
     """Drives N independent cache policies with a single pass over a stream.
 
@@ -177,6 +219,7 @@ class MultiPolicySimulator:
         observer_factories: Sequence[
             Callable[[CachePolicy, int], ReplayObserver]
         ] = (),
+        columnar: bool | None = None,
     ):
         self._policies = list(policies)
         self._track_per_client = track_per_client
@@ -187,6 +230,16 @@ class MultiPolicySimulator:
         #: policy, fed from the same outcome stream as everything else.
         self._queueing_model = queueing_model
         self._observer_factories = tuple(observer_factories)
+        #: Columnar dispatch: ``None`` auto-detects (engage when numpy is
+        #: available and the source decodes to arrays natively), ``True``
+        #: forces it for any source, ``False`` pins the object path.  The
+        #: two paths are bit-identical; this is purely a throughput switch.
+        self._columnar = columnar
+        if columnar and _np is None:
+            raise RuntimeError(
+                "columnar replay requires numpy; pass columnar=False (or "
+                "None) to use the object path"
+            )
 
     @property
     def policies(self) -> list[CachePolicy]:
@@ -288,7 +341,20 @@ class MultiPolicySimulator:
                 if interval:
                     boundary = gcd(boundary, interval)
 
+        use_columnar = self._columnar
+        if use_columnar is None:
+            use_columnar = _np is not None and hasattr(source, "iter_columnar")
+
         started = time.perf_counter()  # lintkit: ignore[wall-clock] elapsed_seconds is runtime telemetry, never replay state
+        if use_columnar:
+            per_client = self._replay_columnar(
+                source, start_seq, accessors, pipelines, stats_obs, boundary
+            )
+            elapsed = time.perf_counter() - started  # lintkit: ignore[wall-clock] elapsed_seconds is runtime telemetry, never replay state
+            return self._assemble_results(
+                per_client, elapsed, stats_obs, shard_obs, cost_obs, rolling_obs, queueing_obs
+            )
+
         # client_id -> [read_requests, write_requests, read hits per policy,
         # write hits per policy].  The request counts are policy-independent,
         # so they are counted once per chunk and shared by all N per-client
@@ -376,9 +442,136 @@ class MultiPolicySimulator:
         if track and not multi_client and sole_client is not None:
             per_client[sole_client] = snapshot_counts()
         elapsed = time.perf_counter() - started  # lintkit: ignore[wall-clock] elapsed_seconds is runtime telemetry, never replay state
+        return self._assemble_results(
+            per_client, elapsed, stats_obs, shard_obs, cost_obs, rolling_obs, queueing_obs
+        )
 
+    def _replay_columnar(
+        self,
+        source: RequestSource,
+        start_seq: int,
+        accessors: list[Callable[[IORequest, int], object]],
+        pipelines: list[list[ReplayObserver]],
+        stats_obs: list[StatsObserver],
+        boundary: int,
+    ) -> dict[str, list]:
+        """The columnar twin of the object replay loop in :meth:`run`.
+
+        Chunks flow through as arrays: policies with a batch kernel get the
+        chunk itself (`batch_access`), the rest run the identical scalar
+        loop over the chunk's memoised request list; observers are fed via
+        ``on_batch`` (batch-native or materialising fallback) or
+        ``on_chunk`` respectively.  All accounting — per-client rows, the
+        sole-/multi-client transition, observer boundaries — mirrors the
+        object loop decision for decision, so both paths produce
+        bit-identical results.
+        """
+        policies = self._policies
+        n = len(policies)
+        track = self._track_per_client
+        scalar_base = CachePolicy.batch_access
+        batch_kernels = [
+            policy.batch_access
+            if type(policy).batch_access is not scalar_base
+            else None
+            for policy in policies
+        ]
+        per_client: dict[str, list] = {}
+        sole_client: str | None = None
+        multi_client = False
+        seq_base = start_seq
+
+        def snapshot_counts() -> list:
+            stats0 = stats_obs[0]
+            return [
+                stats0.read_requests,
+                stats0.write_requests,
+                [observer.read_hits for observer in stats_obs],
+                [observer.write_hits for observer in stats_obs],
+            ]
+
+        chunks = _iter_columnar_chunks(source, self.CHUNK_SIZE, start_seq)
+        if boundary:
+            chunks = _split_columnar_at_windows(chunks, boundary, start_seq)
+        for chunk in chunks:
+            if chunk.seq_base != seq_base:
+                # Sources number chunks from their own origin (0 for a
+                # decoded trace); the engine's numbering wins.
+                chunk = chunk.rebase(seq_base)
+            size = len(chunk)
+            client_rows: list[tuple[list, object, object]] | None = None
+            if track:
+                present = chunk.present_clients()
+                if not multi_client:
+                    chunk_clients = {client_id for client_id, _ in present}
+                    if sole_client is None and len(chunk_clients) == 1:
+                        sole_client = present[0][0]
+                    if len(chunk_clients) > 1 or (
+                        sole_client is not None and chunk_clients != {sole_client}
+                    ):
+                        multi_client = True
+                        if sole_client is not None and seq_base > start_seq:
+                            per_client[sole_client] = snapshot_counts()
+                if multi_client:
+                    write = chunk.write
+                    client_rows = []
+                    for client_id, mask in present:
+                        row = per_client.get(client_id)
+                        if row is None:
+                            row = [0, 0, [0] * n, [0] * n]
+                            per_client[client_id] = row
+                        read_mask = mask & ~write
+                        write_mask = mask & write
+                        row[0] += int(_np.count_nonzero(read_mask))
+                        row[1] += int(_np.count_nonzero(write_mask))
+                        client_rows.append((row, read_mask, write_mask))
+            for j in range(n):
+                kernel = batch_kernels[j]
+                if kernel is not None:
+                    batch = kernel(chunk)
+                    if client_rows is not None:
+                        hit = batch.hit
+                        for row, read_mask, write_mask in client_rows:
+                            row[2][j] += int(_np.count_nonzero(hit & read_mask))
+                            row[3][j] += int(_np.count_nonzero(hit & write_mask))
+                    for observer in pipelines[j]:
+                        observer.on_batch(chunk, batch)
+                else:
+                    requests = chunk.requests()
+                    outcomes = list(
+                        map(accessors[j], requests, range(seq_base, seq_base + size))
+                    )
+                    if client_rows is not None:
+                        hit = _np.fromiter(
+                            (outcome.hit for outcome in outcomes), _np.bool_, size
+                        )
+                        for row, read_mask, write_mask in client_rows:
+                            row[2][j] += int(_np.count_nonzero(hit & read_mask))
+                            row[3][j] += int(_np.count_nonzero(hit & write_mask))
+                    for observer in pipelines[j]:
+                        observer.on_chunk(requests, seq_base, outcomes)
+            seq_base += size
+            for pipeline in pipelines:
+                for observer in pipeline:
+                    observer.on_chunk_end(seq_base)
+        if track and not multi_client and sole_client is not None:
+            per_client[sole_client] = snapshot_counts()
+        return per_client
+
+    def _assemble_results(
+        self,
+        per_client: dict[str, list],
+        elapsed: float,
+        stats_obs: list[StatsObserver],
+        shard_obs: list,
+        cost_obs: list,
+        rolling_obs: list,
+        queueing_obs: list,
+    ) -> list[SimulationResult]:
+        """Fold the observer pipelines into one result per policy."""
+        cost_model = self._cost_model
         results = []
-        for j, policy in enumerate(policies):
+        for j, policy in enumerate(self._policies):
             client_stats = {
                 client_id: CacheStats(
                     read_requests=row[0],
@@ -548,6 +741,7 @@ def _run_cells(
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
     queueing_model: QueueingModel | None = None,
+    columnar: bool | None = None,
 ) -> list[list[SimulationResult]]:
     """Run *cells*, folding same-stream cells into one shared replay pass.
 
@@ -587,6 +781,7 @@ def _run_cells(
             cost_model=cost_model,
             rolling_window=rolling_window,
             queueing_model=queueings[group_key],
+            columnar=columnar,
         ).run(streams[group_key])
         offset = 0
         for index in cell_indices:
@@ -631,6 +826,7 @@ def _run_cell_batch(
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
     queueing_model: QueueingModel | None = None,
+    columnar: bool | None = None,
 ) -> list[list[SimulationResult]]:
     """Worker entry point: run one batch of cells against the worker stream."""
     return _run_cells(
@@ -640,6 +836,7 @@ def _run_cell_batch(
         cost_model,
         rolling_window,
         queueing_model,
+        columnar,
     )
 
 
@@ -660,10 +857,15 @@ class ParallelSweepRunner:
         cost_model: CostModel | None = None,
         rolling_window: int | None = None,
         queueing: QueueingModel | None = None,
+        columnar: bool | None = None,
     ):
         self._requests = requests
         self._jobs = 1 if jobs is None else int(jobs)
         self._track_per_client = track_per_client
+        #: Columnar dispatch for every cell's replay (see
+        #: :class:`MultiPolicySimulator`): a plain bool/None, so it ships to
+        #: workers with the cells; both paths are bit-identical.
+        self._columnar = columnar
         #: Optional service-time pricing applied to every cell's replay
         #: (:mod:`repro.simulation.costmodel`).  Cost models are plain
         #: picklable objects, so they ship to worker processes with the
@@ -726,6 +928,7 @@ class ParallelSweepRunner:
             self._cost_model,
             self._rolling_window,
             self._queueing,
+            self._columnar,
         )
 
     def _run_parallel(
@@ -754,6 +957,7 @@ class ParallelSweepRunner:
                     self._cost_model,
                     self._rolling_window,
                     self._queueing,
+                    self._columnar,
                 )
                 for batch in batches
             ]

@@ -35,13 +35,20 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Sequence
 
+try:  # optional acceleration; on_batch is only reachable with numpy present
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 from repro.cache.base import AccessOutcome, CacheStats
 
 if TYPE_CHECKING:  # imported for type annotations only
+    from repro.cache.base import AccessOutcomeBatch
     from repro.simulation.cluster import ShardedCache
     from repro.simulation.costmodel import CostAccumulator, LatencyStats
     from repro.simulation.metrics import RollingMetrics
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = [
     "ReplayObserver",
@@ -78,6 +85,14 @@ class ReplayObserver(abc.ABC):
         for request, outcome in zip(requests, outcomes):
             on_outcome(request, seq, outcome)
             seq += 1
+
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        """Fold one columnar chunk of batched outcomes (the columnar replay
+        path's analogue of :meth:`on_chunk`).  Default: materialise the
+        chunk's requests and the batch's scalar outcomes and delegate — so
+        any observer is columnar-correct out of the box; batch-native
+        overrides are purely a performance fast path."""
+        self.on_chunk(chunk.requests(), chunk.seq_base, batch.outcomes())
 
     def on_chunk_end(self, seq_end: int) -> None:
         """The replay crossed a chunk boundary; ``seq_end`` is exclusive."""
@@ -166,6 +181,20 @@ class StatsObserver(ReplayObserver):
         self.admissions += adm
         self.bypasses += byp
 
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        # Batch-native: whole-column popcounts replace the per-outcome loop.
+        write = chunk.write
+        hit = batch.hit
+        wr = int(_np.count_nonzero(write))
+        wh = int(_np.count_nonzero(hit & write))
+        self.read_requests += len(chunk) - wr
+        self.read_hits += int(_np.count_nonzero(hit)) - wh
+        self.write_requests += wr
+        self.write_hits += wh
+        self.evictions += batch.eviction_count
+        self.admissions += int(_np.count_nonzero(batch.admitted))
+        self.bypasses += int(_np.count_nonzero(batch.bypassed))
+
     def merge(self, other: "StatsObserver") -> None:
         self.read_requests += other.read_requests
         self.read_hits += other.read_hits
@@ -198,10 +227,11 @@ class ShardStatsObserver(ReplayObserver):
     own accounting used to report.
     """
 
-    __slots__ = ("_route", "_shards")
+    __slots__ = ("_route", "_router", "_shards")
 
     def __init__(self, cluster: "ShardedCache"):
-        self._route = cluster.router.route
+        self._router = cluster.router
+        self._route = self._router.route
         self._shards = [CacheStats() for _ in range(cluster.shard_count)]
 
     def on_outcome(self, request: IORequest, seq: int, outcome: AccessOutcome) -> None:
@@ -217,6 +247,31 @@ class ShardStatsObserver(ReplayObserver):
         shards = self._shards
         for request, outcome in zip(requests, outcomes):
             shards[route(request)].record_outcome(request, outcome)
+
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        # Batch-native: re-route the whole chunk with the router's column
+        # kernel (post-access, so stateful routers resolve to pure lookups),
+        # then fold per-shard masked popcounts.
+        shard_ids = self._router.route_batch(chunk)
+        write = chunk.write
+        hit = batch.hit
+        admitted = batch.admitted
+        bypassed = batch.bypassed
+        eviction_counts = _np.diff(batch.evicted_offsets)
+        for s, stats in enumerate(self._shards):
+            mask = shard_ids == s
+            total = int(_np.count_nonzero(mask))
+            if not total:
+                continue
+            wr = int(_np.count_nonzero(mask & write))
+            wh = int(_np.count_nonzero(hit & mask & write))
+            stats.read_requests += total - wr
+            stats.read_hits += int(_np.count_nonzero(hit & mask)) - wh
+            stats.write_requests += wr
+            stats.write_hits += wh
+            stats.admissions += int(_np.count_nonzero(admitted & mask))
+            stats.bypasses += int(_np.count_nonzero(bypassed & mask))
+            stats.evictions += int(eviction_counts[mask].sum())
 
     def merge(self, other: "ShardStatsObserver") -> None:
         self._shards = [
@@ -276,6 +331,22 @@ class CostObserver(ReplayObserver):
         charge = self._accumulator.charge
         for request, outcome in zip(requests, outcomes):
             charge(request, outcome.hit)
+
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        accumulator = self._accumulator
+        if getattr(accumulator, "class_counting", False):
+            # Position-independent pricing: fold whole-chunk class counts.
+            write = chunk.write
+            hit = batch.hit
+            writes = int(_np.count_nonzero(write))
+            read_hits = int(_np.count_nonzero(hit & ~write))
+            accumulator.charge_counts(
+                read_hits, len(chunk) - writes - read_hits, writes
+            )
+            return
+        # Seek-aware (or sharded seek-aware) accumulators need the exact
+        # per-request head walk: materialise and run the scalar loop.
+        super().on_batch(chunk, batch)
 
     def merge(self, other: "CostObserver") -> None:
         self._merged.append(other)
@@ -397,6 +468,36 @@ class RollingObserver(ReplayObserver):
             counts[3] += wh
             counts[4] += ev
             offset += take
+            self._seq = seq + take
+
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        # Batch-native: the same window segmentation as on_chunk, with each
+        # segment folded by column popcounts instead of a per-request loop.
+        window = self._window
+        length = len(chunk)
+        write = chunk.write
+        hit = batch.hit
+        offsets = batch.evicted_offsets
+        seq_base = chunk.seq_base
+        offset = 0
+        while offset < length:
+            seq = seq_base + offset
+            boundary = seq - (seq % window)
+            if boundary > self._start:
+                self._close(boundary)
+            take = min(window - (seq % window), length - offset)
+            end = offset + take
+            write_seg = write[offset:end]
+            hit_seg = hit[offset:end]
+            wr = int(_np.count_nonzero(write_seg))
+            wh = int(_np.count_nonzero(hit_seg & write_seg))
+            counts = self._counts
+            counts[0] += take - wr
+            counts[1] += int(_np.count_nonzero(hit_seg)) - wh
+            counts[2] += wr
+            counts[3] += wh
+            counts[4] += int(offsets[end] - offsets[offset])
+            offset = end
             self._seq = seq + take
 
     def on_chunk_end(self, seq_end: int) -> None:

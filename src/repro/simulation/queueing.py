@@ -78,8 +78,9 @@ from repro.simulation.request import RequestKind, read_request, write_request
 from repro.workloads.arrivals import ArrivalProcess
 
 if TYPE_CHECKING:  # imported for type annotations only
-    from repro.cache.base import AccessOutcome, CachePolicy
+    from repro.cache.base import AccessOutcome, AccessOutcomeBatch, CachePolicy
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = [
     "QueueingModel",
@@ -375,6 +376,14 @@ class QueueingModel:
         return QueueingObserver(self, policy, start_seq, tape=tape)
 
 
+def _mix_column(pages: Any) -> Any:
+    """Murmur-mix a ``uint64`` page column (exactly the scalar ``_mix_page``
+    pipeline of :class:`~repro.simulation.cluster.HashRouter`, wrapping)."""
+    pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xFF51AFD7ED558CCD)
+    pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xC4CEB9FE1A85EC53)
+    return pages ^ (pages >> _np.uint64(33))
+
+
 class _ArrivalTape:
     """Per-run cache of each chunk's arrival/request columns.
 
@@ -435,6 +444,32 @@ class _ArrivalTape:
         self._next_seq = seq_base + n
         return arrivals_ns, reads
 
+    def columns_columnar(self, chunk: "ColumnarChunk") -> tuple[Any, Any]:
+        """Columnar twin of :meth:`columns`: arrivals from the same shared
+        clock, reads straight off the chunk's write column — no request
+        objects.  One run may mix both flavours on the same chunk (the
+        engine dispatches per policy), so the per-chunk cache is shared:
+        whichever flavour sees the chunk first materialises, the values are
+        identical either way."""
+        n = len(chunk)
+        seq_base = chunk.seq_base
+        if seq_base == self._chunk_seq and len(self._arrivals_ns) == n:
+            return self._arrivals_ns, self._reads
+        if seq_base != self._next_seq:
+            raise ValueError(
+                "observers sharing an arrival tape must consume identical "
+                f"chunks in order (expected seq {self._next_seq}, got {seq_base})"
+            )
+        times_us = _np.fromiter(self._times, _np.float64, n)
+        arrivals_ns = (times_us * 1000.0 + 0.5).astype(_np.int64)
+        reads = ~chunk.write
+        self._arrivals_ns = arrivals_ns
+        self._reads = reads
+        self._mixed_pages = None
+        self._chunk_seq = seq_base
+        self._next_seq = seq_base + n
+        return arrivals_ns, reads
+
     def mixed_pages(self, requests: Sequence["IORequest"]) -> Any:
         """The murmur-mixed page ids of the current chunk (``uint64``).
 
@@ -447,9 +482,13 @@ class _ArrivalTape:
             pages = _np.fromiter(
                 (request.page for request in requests), _np.uint64, len(requests)
             )
-            pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xFF51AFD7ED558CCD)
-            pages = (pages ^ (pages >> _np.uint64(33))) * _np.uint64(0xC4CEB9FE1A85EC53)
-            self._mixed_pages = pages ^ (pages >> _np.uint64(33))
+            self._mixed_pages = _mix_column(pages)
+        return self._mixed_pages
+
+    def mixed_pages_columnar(self, chunk: "ColumnarChunk") -> Any:
+        """Columnar twin of :meth:`mixed_pages` (same shared cache)."""
+        if self._mixed_pages is None:
+            self._mixed_pages = _mix_column(chunk.page.astype(_np.uint64))
         return self._mixed_pages
 
 
@@ -627,6 +666,31 @@ class QueueingObserver(ReplayObserver):
         else:
             self._chunk_scalar(requests, outcomes, arrivals_ns)
         self._count += len(requests)
+        self._last_ns = int(arrivals_ns[-1])
+
+    def on_batch(self, chunk: "ColumnarChunk", batch: "AccessOutcomeBatch") -> None:
+        if not len(chunk):
+            return
+        if not self._vector:
+            # Seek devices and multi-server shards need the per-event scalar
+            # walk: materialise the chunk and take the on_chunk path.
+            super().on_batch(chunk, batch)
+            return
+        # Vector mode banks columns for the finalize-time Lindley pass; on
+        # the columnar path every column already exists — nothing is
+        # materialised.
+        arrivals_ns, reads = self._tape.columns_columnar(chunk)
+        if self._first_ns is None:
+            self._first_ns = int(arrivals_ns[0])
+        self._arrival_chunks.append(arrivals_ns)
+        self._read_chunks.append(reads)
+        self._hit_chunks.append(batch.hit)
+        if self._route is not None:
+            if type(self._router) is HashRouter:
+                self._shard_chunks.append(self._tape.mixed_pages_columnar(chunk))
+            else:
+                self._shard_chunks.append(self._router.route_batch(chunk))
+        self._count += len(chunk)
         self._last_ns = int(arrivals_ns[-1])
 
     # ------------------------------------------------------------ chunk paths

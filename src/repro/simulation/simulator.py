@@ -62,6 +62,7 @@ class CacheSimulator:
         observer_factories: Sequence[
             Callable[[CachePolicy, int], ReplayObserver]
         ] = (),
+        columnar: bool | None = None,
     ):
         self._policy = policy
         self._engine = MultiPolicySimulator(
@@ -71,6 +72,7 @@ class CacheSimulator:
             rolling_window=rolling_window,
             queueing_model=queueing_model,
             observer_factories=observer_factories,
+            columnar=columnar,
         )
 
     @property
@@ -97,6 +99,7 @@ def simulate(
     cost_model: CostModel | None = None,
     rolling_window: int | None = None,
     queueing_model: QueueingModel | None = None,
+    columnar: bool | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: ``CacheSimulator(policy).run(requests)``."""
     return CacheSimulator(
@@ -105,4 +108,5 @@ def simulate(
         cost_model=cost_model,
         rolling_window=rolling_window,
         queueing_model=queueing_model,
+        columnar=columnar,
     ).run(requests)

@@ -32,10 +32,16 @@ import json
 import struct
 from pathlib import Path
 from types import TracebackType
-from typing import BinaryIO, Iterable, Iterator
+from typing import Any, BinaryIO, Iterable, Iterator
+
+try:  # optional acceleration for the columnar decode path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 from repro.core.hints import EMPTY_HINT_SET, HintSet
 from repro.simulation.request import IORequest, RequestKind
+from repro.trace.columnar import ColumnarChunk
 from repro.trace.io import (
     TraceFormatError,
     _decode_hint_set as _decode_hint_set_json,
@@ -338,6 +344,111 @@ class StreamedTrace:
                         f"byte {offset}: unknown record tag 0x{tag:02x}"
                     )
 
+    def iter_columnar(self) -> Iterator[ColumnarChunk]:
+        """Yield the trace as :class:`ColumnarChunk` batches (one per BLOCK).
+
+        The common block layout (no explicit client-id records) decodes
+        straight into numpy arrays without materialising ``IORequest``
+        objects; blocks carrying explicit client ids — and structurally
+        suspect blocks — fall back to the scalar decoder and are lifted via
+        :meth:`ColumnarChunk.from_requests`, so malformed traces raise the
+        exact same :class:`TraceFormatError` as :meth:`iter_chunks` and
+        well-formed ones decode to identical requests either way.
+        """
+        if _np is None:
+            raise RuntimeError(
+                "StreamedTrace.iter_columnar requires numpy; "
+                "use iter_chunks for the object path"
+            )
+        with self.path.open("rb") as handle:
+            self._check_header(handle)
+            hint_sets: dict[int, HintSet] = {}
+            # Lookup tables shared by every chunk of this pass.  Position 0
+            # of the hint table is the empty hint set, so the on-wire
+            # hint_ref is usable as a table index directly.
+            hint_table: tuple[HintSet, ...] = (EMPTY_HINT_SET,)
+            clients: list[str] = [""]
+            client_index: dict[str, int] = {"": 0}
+            hint_client: list[int] = [0]
+            hint_client_arr: Any = None
+            client_table: tuple[str, ...] = ("",)
+            count = 0
+            while True:
+                offset = handle.tell()
+                tag_byte = handle.read(1)
+                if not tag_byte:
+                    raise TraceFormatError(
+                        f"{self.path.name}: unexpected end of file at byte {offset} "
+                        "(missing END record — truncated trace?)"
+                    )
+                tag = tag_byte[0]
+                if tag == _TAG_META:
+                    length = _read_varint(handle, offset)
+                    _read_exact(handle, length, offset)
+                elif tag == _TAG_HINTSET:
+                    hint_id = _read_varint(handle, offset)
+                    length = _read_varint(handle, offset)
+                    payload = _read_exact(handle, length, offset)
+                    if hint_id != len(hint_sets):
+                        raise TraceFormatError(
+                            f"byte {offset}: hint set ids must be dense and "
+                            f"ascending (got {hint_id}, expected {len(hint_sets)})"
+                        )
+                    hints = _decode_hint_set(payload, offset)
+                    hint_sets[hint_id] = hints
+                    hint_table = hint_table + (hints,)
+                    cidx = client_index.get(hints.client_id)
+                    if cidx is None:
+                        cidx = len(clients)
+                        client_index[hints.client_id] = cidx
+                        clients.append(hints.client_id)
+                        client_table = tuple(clients)
+                    hint_client.append(cidx)
+                    hint_client_arr = None
+                elif tag == _TAG_BLOCK:
+                    expected = _read_varint(handle, offset)
+                    length = _read_varint(handle, offset)
+                    body = _read_exact(handle, length, offset)
+                    columns = _decode_block_columnar(body, expected, offset)
+                    if columns is None:
+                        # Scalar fallback: explicit client ids (or a garbled
+                        # block, which raises here exactly like iter_chunks).
+                        requests = _decode_block(body, expected, hint_sets, offset)
+                        chunk = ColumnarChunk.from_requests(requests, count)
+                    else:
+                        page, hint_ref, write = columns
+                        if len(hint_ref) and int(hint_ref.max()) >= len(hint_table):
+                            bad = int(hint_ref[hint_ref >= len(hint_table)][0])
+                            raise TraceFormatError(
+                                f"byte {offset}: block references undefined "
+                                f"hint set id {bad - 1}"
+                            )
+                        if hint_client_arr is None:
+                            hint_client_arr = _np.array(hint_client, _np.int64)
+                        chunk = ColumnarChunk(
+                            page,
+                            write,
+                            hint_ref,
+                            hint_client_arr[hint_ref],
+                            _np.arange(count, count + expected, dtype=_np.int64),
+                            hint_table,
+                            client_table,
+                        )
+                    count += len(chunk)
+                    yield chunk
+                elif tag == _TAG_END:
+                    declared = _read_varint(handle, offset)
+                    if declared != count:
+                        raise TraceFormatError(
+                            f"byte {offset}: END declares {declared} requests "
+                            f"but {count} were decoded"
+                        )
+                    return
+                else:
+                    raise TraceFormatError(
+                        f"byte {offset}: unknown record tag 0x{tag:02x}"
+                    )
+
     # ----------------------------------------------------------------- loading
     def load(self) -> Trace:
         """Materialize the whole file as an in-memory :class:`Trace`."""
@@ -519,6 +630,69 @@ def _decode_block(
             f"but decoded {len(requests)} using {pos}"
         )
     return requests
+
+
+def _decode_varint_column(arr: Any, starts: Any, ends: Any) -> Any:
+    """Decode one varint per ``[start, end]`` span of *arr* into int64.
+
+    Returns None when any varint exceeds 8 bytes (56 bits of payload): the
+    value might not fit an int64 lane, so the caller must use the scalar
+    decoder, which carries arbitrary-precision Python ints.
+    """
+    lengths = ends - starts + 1
+    max_len = int(lengths.max())
+    if max_len > 8:
+        return None
+    values = (arr[starts] & 0x7F).astype(_np.int64)
+    for position in range(1, max_len):
+        mask = lengths > position
+        values[mask] |= (
+            arr[starts[mask] + position].astype(_np.int64) & 0x7F
+        ) << (7 * position)
+    return values
+
+
+def _decode_block_columnar(
+    body: bytes, expected: int, offset: int
+) -> tuple[Any, Any, Any] | None:
+    """Vectorised BLOCK decode into ``(page, hint_ref, write)`` columns.
+
+    Exploits the record grammar: the flags byte and every varint terminator
+    byte have bit 7 clear, while varint continuation bytes have it set.  A
+    record without :data:`_FLAG_CLIENT_ID` is therefore exactly three
+    "units" — flags, page, hint_ref — whose last bytes are the block's
+    clear-bit positions, three per record, with each record's first unit
+    (the flags byte, a unit of length one) starting right after the
+    previous record.  Any block violating that shape — explicit client-id
+    records, truncated records, oversized varints — returns None and is
+    handled by the scalar decoder (which raises the canonical
+    :class:`TraceFormatError` for genuinely garbled input).
+    """
+    if _np is None or expected == 0 or not body:
+        return None
+    arr = _np.frombuffer(body, dtype=_np.uint8)
+    ends = _np.flatnonzero(arr < 0x80)
+    if ends.size != 3 * expected:
+        return None
+    flags_pos = ends[0::3]
+    page_end = ends[1::3]
+    hint_end = ends[2::3]
+    starts = _np.empty_like(flags_pos)
+    starts[0] = 0
+    starts[1:] = hint_end[:-1] + 1
+    if int(hint_end[-1]) != arr.size - 1 or not _np.array_equal(flags_pos, starts):
+        return None
+    flags = arr[flags_pos]
+    if bool((flags & _FLAG_CLIENT_ID).any()):
+        return None
+    page = _decode_varint_column(arr, flags_pos + 1, page_end)
+    if page is None:
+        return None
+    hint_ref = _decode_varint_column(arr, page_end + 1, hint_end)
+    if hint_ref is None:
+        return None
+    write = (flags & _FLAG_WRITE) != 0
+    return page, hint_ref, write
 
 
 def open_trace_binary(path: str | Path) -> StreamedTrace:

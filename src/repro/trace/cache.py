@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.simulation.request import IORequest
 
 if TYPE_CHECKING:  # imported for type annotations only (lazy at runtime)
+    from repro.trace.columnar import ColumnarChunk
     from repro.workloads.arrivals import ArrivalProcess
     from repro.workloads.phased import PhasePlan, PhasedTraceStream
     from repro.workloads.standard import StandardTraceStream
@@ -130,6 +131,13 @@ class TraceSpec:
     def iter_chunks(self) -> Iterator[list[IORequest]]:
         """Stream the trace's requests in decoded-block chunks."""
         return default_trace_cache().open(self).iter_chunks()
+
+    def iter_columnar(self) -> "Iterator[ColumnarChunk]":
+        """Stream the trace as columnar chunks (the engine's array path).
+
+        Requires numpy; the same blocks as :meth:`iter_chunks`, decoded
+        straight into arrays."""
+        return default_trace_cache().open(self).iter_columnar()
 
     def __iter__(self) -> Iterator[IORequest]:
         return self.iter_requests()
@@ -339,6 +347,11 @@ class _InMemoryStream:
 
     def iter_chunks(self) -> Iterator[list[IORequest]]:
         yield self._trace.requests()
+
+    def iter_columnar(self) -> "Iterator[ColumnarChunk]":
+        from repro.trace.columnar import ColumnarSource
+
+        return ColumnarSource(self._trace.requests()).iter_columnar()
 
     def load(self) -> Trace:
         return self._trace

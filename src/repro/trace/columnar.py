@@ -1,0 +1,329 @@
+"""Columnar batch representation of a request stream.
+
+A :class:`ColumnarChunk` carries one decoded trace block as parallel numpy
+arrays — page, op, hint-dictionary id, client-id index, sequence number —
+instead of a list of :class:`~repro.simulation.request.IORequest` objects.
+It is the unit of work of the columnar replay path: the binary trace reader
+(:meth:`repro.trace.binio.StreamedTrace.iter_columnar`) decodes straight
+into chunks, batch policy kernels (:meth:`repro.cache.base.CachePolicy.
+batch_access`) consume them, and batch-aware observers
+(:meth:`repro.simulation.observers.ReplayObserver.on_batch`) account them
+without materialising per-request objects.
+
+Both sides can always fall back: :meth:`ColumnarChunk.from_requests` lifts a
+request list into a chunk, and :meth:`ColumnarChunk.requests` materialises
+the exact equivalent request list (memoised, so at most one materialisation
+per chunk serves every scalar consumer).  The object path remains the
+bit-identical reference implementation; columnar replay must never change a
+single counter.
+
+numpy is an accelerator, never a dependency: when it is missing the engine
+simply keeps using the object path (``NUMPY_AVAILABLE`` is the feature
+probe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+try:  # optional acceleration; the object path is bit-identical
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+from repro.core.hints import EMPTY_HINT_SET, HintSet
+from repro.simulation.request import IORequest, RequestKind
+
+__all__ = [
+    "COLUMNAR_CHUNK_REQUESTS",
+    "NUMPY_AVAILABLE",
+    "ColumnarChunk",
+    "ColumnarSource",
+    "columnar_chunks",
+]
+
+#: True when numpy is importable and the columnar path can engage.
+NUMPY_AVAILABLE = _np is not None
+
+#: Requests per chunk produced by :class:`ColumnarSource`; matches the
+#: binary trace BLOCK size so both sources batch identically.
+COLUMNAR_CHUNK_REQUESTS = 4096
+
+# Arrays are annotated as ``Any``: numpy is optional at runtime, so the
+# module cannot reference ``np.ndarray`` in evaluated positions.
+Array = Any
+
+_EMPTY_IDENTITY = ("", (), ())
+
+
+def _require_numpy() -> Any:
+    if _np is None:
+        raise RuntimeError(
+            "the columnar replay path requires numpy; "
+            "use the object path (iter_chunks/iter_requests) instead"
+        )
+    return _np
+
+
+class ColumnarChunk:
+    """One batch of requests as parallel columns.
+
+    Columns (all the same length):
+
+    ``page``
+        int64 — page number of each request.
+    ``write``
+        bool — the op column; True for writes, False for reads.
+    ``hint_id``
+        int64 — index into ``hint_sets``; 0 is always the empty hint set.
+    ``client_idx``
+        int64 — index into ``clients``.
+    ``seq``
+        int64 — global sequence number of each request.  Engine-produced
+        chunks are contiguous (``seq[i] = seq_base + i``); gathered
+        sub-chunks (e.g. per-shard splits) are not.
+
+    ``hint_sets`` and ``clients`` are lookup tables shared across every
+    chunk of a stream; they may contain entries a particular chunk never
+    references.
+    """
+
+    __slots__ = (
+        "page",
+        "write",
+        "hint_id",
+        "client_idx",
+        "seq",
+        "hint_sets",
+        "clients",
+        "_requests",
+    )
+
+    def __init__(
+        self,
+        page: Array,
+        write: Array,
+        hint_id: Array,
+        client_idx: Array,
+        seq: Array,
+        hint_sets: tuple[HintSet, ...],
+        clients: tuple[str, ...],
+    ):
+        self.page = page
+        self.write = write
+        self.hint_id = hint_id
+        self.client_idx = client_idx
+        self.seq = seq
+        self.hint_sets = hint_sets
+        self.clients = clients
+        self._requests: list[IORequest] | None = None
+
+    # ------------------------------------------------------------- properties
+    def __len__(self) -> int:
+        return len(self.page)
+
+    @property
+    def seq_base(self) -> int:
+        """Sequence number of the first request (0 for an empty chunk)."""
+        return int(self.seq[0]) if len(self.seq) else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarChunk({len(self)} requests, seq_base={self.seq_base}, "
+            f"{len(self.clients)} clients, {len(self.hint_sets)} hint sets)"
+        )
+
+    # ------------------------------------------------------------- converters
+    @classmethod
+    def from_requests(
+        cls, requests: Sequence[IORequest], start_seq: int = 0
+    ) -> "ColumnarChunk":
+        """Lift a request list into a chunk (the object-side converter).
+
+        The resulting chunk memoises *requests* itself, so a follow-up
+        :meth:`requests` call returns the original objects at zero cost.
+        """
+        np = _require_numpy()
+        n = len(requests)
+        page = np.fromiter((request.page for request in requests), np.int64, n)
+        write = np.fromiter(
+            (not request.is_read for request in requests), np.bool_, n
+        )
+        hint_sets: list[HintSet] = [EMPTY_HINT_SET]
+        hint_index: dict[tuple, int] = {}
+        clients: list[str] = []
+        client_index: dict[str, int] = {}
+        hint_id = np.empty(n, np.int64)
+        client_idx = np.empty(n, np.int64)
+        for i, request in enumerate(requests):
+            hints = request.hints
+            identity = hints.identity()
+            if identity == _EMPTY_IDENTITY:
+                hint_id[i] = 0
+            else:
+                idx = hint_index.get(identity)
+                if idx is None:
+                    idx = len(hint_sets)
+                    hint_index[identity] = idx
+                    hint_sets.append(hints)
+                hint_id[i] = idx
+            client = request.client_id
+            cidx = client_index.get(client)
+            if cidx is None:
+                cidx = len(clients)
+                client_index[client] = cidx
+                clients.append(client)
+            client_idx[i] = cidx
+        seq = np.arange(start_seq, start_seq + n, dtype=np.int64)
+        chunk = cls(
+            page, write, hint_id, client_idx, seq, tuple(hint_sets), tuple(clients)
+        )
+        chunk._requests = list(requests)
+        return chunk
+
+    def requests(self) -> list[IORequest]:
+        """Materialise the equivalent request list (memoised).
+
+        The list is identical — field for field — to what the scalar
+        decoder produces for the same records, so every scalar consumer
+        (fallback kernels, fallback observers) sees exactly the object-path
+        inputs.
+        """
+        if self._requests is None:
+            read_kind = RequestKind.READ
+            write_kind = RequestKind.WRITE
+            hint_sets = self.hint_sets
+            clients = self.clients
+            self._requests = [
+                IORequest(
+                    page=page,
+                    kind=write_kind if write else read_kind,
+                    hints=hint_sets[hint],
+                    client_id=clients[client],
+                )
+                for page, write, hint, client in zip(
+                    self.page.tolist(),
+                    self.write.tolist(),
+                    self.hint_id.tolist(),
+                    self.client_idx.tolist(),
+                )
+            ]
+        return self._requests
+
+    def to_requests(self) -> list[IORequest]:
+        """Alias of :meth:`requests` (the columnar-side converter)."""
+        return self.requests()
+
+    # ---------------------------------------------------------------- slicing
+    def slice(self, start: int, stop: int) -> "ColumnarChunk":
+        """Contiguous sub-chunk ``[start:stop)`` (array views, no copies)."""
+        chunk = ColumnarChunk(
+            self.page[start:stop],
+            self.write[start:stop],
+            self.hint_id[start:stop],
+            self.client_idx[start:stop],
+            self.seq[start:stop],
+            self.hint_sets,
+            self.clients,
+        )
+        if self._requests is not None:
+            chunk._requests = self._requests[start:stop]
+        return chunk
+
+    def take(self, indices: Array) -> "ColumnarChunk":
+        """Gathered sub-chunk (e.g. one shard's requests, original order)."""
+        chunk = ColumnarChunk(
+            self.page[indices],
+            self.write[indices],
+            self.hint_id[indices],
+            self.client_idx[indices],
+            self.seq[indices],
+            self.hint_sets,
+            self.clients,
+        )
+        if self._requests is not None:
+            requests = self._requests
+            chunk._requests = [requests[i] for i in indices.tolist()]
+        return chunk
+
+    def rebase(self, start_seq: int) -> "ColumnarChunk":
+        """Copy with contiguous sequence numbers starting at *start_seq*.
+
+        Requests carry no sequence number, so the memoised list (if any)
+        stays valid and is shared.
+        """
+        np = _require_numpy()
+        chunk = ColumnarChunk(
+            self.page,
+            self.write,
+            self.hint_id,
+            self.client_idx,
+            np.arange(start_seq, start_seq + len(self), dtype=np.int64),
+            self.hint_sets,
+            self.clients,
+        )
+        chunk._requests = self._requests
+        return chunk
+
+    # ------------------------------------------------------------- accounting
+    def present_clients(self) -> list[tuple[str, Array]]:
+        """Clients appearing in this chunk, in first-appearance order.
+
+        Returns ``(client_id, mask)`` pairs where ``mask`` is the boolean
+        row-selector for that client — the per-client accounting primitive
+        of the columnar engine loop.
+        """
+        np = _require_numpy()
+        unique, first = np.unique(self.client_idx, return_index=True)
+        order = np.argsort(first, kind="stable")
+        out: list[tuple[str, Array]] = []
+        for position in order.tolist():
+            idx = int(unique[position])
+            out.append((self.clients[idx], self.client_idx == idx))
+        return out
+
+
+def columnar_chunks(
+    chunks: Iterator[list[IORequest]] | Sequence[list[IORequest]],
+    start_seq: int = 0,
+) -> Iterator[ColumnarChunk]:
+    """Lift an object-chunk stream into a columnar-chunk stream."""
+    seq = start_seq
+    for chunk in chunks:
+        yield ColumnarChunk.from_requests(chunk, seq)
+        seq += len(chunk)
+
+
+class ColumnarSource:
+    """Adapts an in-memory request list to the columnar source protocol.
+
+    Exposes all three source methods — ``iter_requests`` (lazy protocol),
+    ``iter_chunks`` (object batches) and ``iter_columnar`` — so it can be
+    handed to the engine, a sweep runner, or pickled into sweep workers
+    like any other request source.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[IORequest],
+        chunk_requests: int = COLUMNAR_CHUNK_REQUESTS,
+    ):
+        if chunk_requests <= 0:
+            raise ValueError("chunk_requests must be positive")
+        self._requests = list(requests)
+        self._chunk_requests = chunk_requests
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def iter_requests(self) -> Iterator[IORequest]:
+        return iter(self._requests)
+
+    def iter_chunks(self) -> Iterator[list[IORequest]]:
+        requests = self._requests
+        size = self._chunk_requests
+        for start in range(0, len(requests), size):
+            yield requests[start : start + size]
+
+    def iter_columnar(self) -> Iterator[ColumnarChunk]:
+        return columnar_chunks(self.iter_chunks())

@@ -1,0 +1,174 @@
+"""Scalar==batch equivalence suite for every registered policy.
+
+The batch kernel contract (:meth:`repro.cache.base.CachePolicy
+.batch_access`) says a batch call must be outcome-for-outcome identical to
+the scalar ``access()`` loop over the same requests — and must leave the
+policy in the identical state.  This suite derives its policy list from the
+registry (:func:`repro.cache.registry.available_policies`), so every
+registered policy — those with fused batch kernels (LRU, FIFO, CLOCK, the
+sharded cluster) and those running the default materialising fallback — is
+held to the contract over random request streams and random chunk splits.
+lintkit's ``batch-kernel-parity`` rule enforces that any policy overriding
+``batch_access`` stays covered here.
+
+The engine-level half of the contract — the columnar replay path produces
+the same results at any job count — is pinned by the sweep test at the
+bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.base import AccessOutcomeBatch, CachePolicy
+from repro.cache.registry import available_policies, create_policy
+from repro.core.config import CLICConfig
+from repro.simulation.engine import ParallelSweepRunner, PolicySpec, SweepCell
+from repro.trace.columnar import ColumnarChunk
+
+from tests.strategies import request_streams
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.property
+
+#: Constructor kwargs giving each registry policy a test-sized configuration.
+_POLICY_KWARGS = {
+    "CLIC": {"config": CLICConfig(window_size=20, charge_metadata=False)},
+    "SHARDED": {"policy": "LRU", "shards": 3, "router": "hash"},
+}
+
+#: Sharded variants: the cluster's gather/scatter batch path (all shards
+#: batch-capable), its whole-cluster fallback (ARC shards), and each router.
+_SHARDED_VARIANTS = [
+    ("SHARDED[LRU,hash]", {"policy": "LRU", "shards": 3, "router": "hash"}),
+    ("SHARDED[CLOCK,range]", {"policy": "CLOCK", "shards": 2, "router": "range", "page_span": 41}),
+    ("SHARDED[FIFO,client]", {"policy": "FIFO", "shards": 2, "router": "client"}),
+    ("SHARDED[ARC,hash]", {"policy": "ARC", "shards": 2, "router": "hash"}),
+]
+
+
+def _registry_cases() -> list[tuple[str, str, dict]]:
+    cases = [
+        (name, name, _POLICY_KWARGS.get(name, {})) for name in available_policies()
+    ]
+    cases.extend((label, "SHARDED", kwargs) for label, kwargs in _SHARDED_VARIANTS)
+    return cases
+
+
+CASES = _registry_cases()
+CASE_IDS = [case[0] for case in CASES]
+
+CAPACITY = 12
+
+STREAMS = request_streams(min_size=1, max_size=200)
+
+#: Random chunk splits: sizes drawn until the stream is consumed, so the
+#: batch path sees chunk boundaries everywhere (including size-1 chunks).
+CHUNK_SIZES = st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=20)
+
+
+def _build(name: str, kwargs: dict) -> CachePolicy:
+    return create_policy(name, capacity=CAPACITY, **kwargs)
+
+
+def _split(stream, sizes):
+    """Cut *stream* into chunks of the drawn sizes (cycling as needed)."""
+    chunks = []
+    offset = 0
+    index = 0
+    while offset < len(stream):
+        take = sizes[index % len(sizes)]
+        chunks.append((offset, stream[offset : offset + take]))
+        offset += take
+        index += 1
+    return chunks
+
+
+@pytest.mark.parametrize(("name", "kwargs"), [c[1:] for c in CASES], ids=CASE_IDS)
+@given(stream=STREAMS, sizes=CHUNK_SIZES)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batch_access_matches_scalar(name, kwargs, stream, sizes):
+    scalar = _build(name, kwargs)
+    batched = _build(name, kwargs)
+    if scalar.offline:
+        scalar.prepare(stream, 0)
+        batched.prepare(stream, 0)
+
+    scalar_outcomes = [
+        scalar.access(request, seq) for seq, request in enumerate(stream)
+    ]
+    batch_outcomes = []
+    for offset, chunk_requests in _split(stream, sizes):
+        chunk = ColumnarChunk.from_requests(chunk_requests, start_seq=offset)
+        batch = batched.batch_access(chunk)
+        assert isinstance(batch, AccessOutcomeBatch)
+        assert len(batch) == len(chunk_requests)
+        batch_outcomes.extend(batch.outcomes())
+
+    assert batch_outcomes == scalar_outcomes
+    assert len(batched) == len(scalar)
+    assert sorted(batched.cached_pages()) == sorted(scalar.cached_pages())
+
+
+@given(stream=STREAMS, sizes=CHUNK_SIZES)
+@settings(max_examples=25, deadline=None)
+def test_batch_columns_match_scalar_outcomes(stream, sizes):
+    """The batch's column view (hit/admitted/bypassed/CSR evictions) agrees
+    with its own reconstructed outcome objects."""
+    policy = create_policy("LRU", capacity=CAPACITY)
+    for offset, chunk_requests in _split(stream, sizes):
+        chunk = ColumnarChunk.from_requests(chunk_requests, start_seq=offset)
+        batch = policy.batch_access(chunk)
+        for i, outcome in enumerate(batch.outcomes()):
+            assert bool(batch.hit[i]) == outcome.hit
+            assert bool(batch.admitted[i]) == outcome.admitted
+            assert bool(batch.bypassed[i]) == outcome.bypassed
+            start = int(batch.evicted_offsets[i])
+            stop = int(batch.evicted_offsets[i + 1])
+            assert tuple(int(p) for p in batch.evicted_pages[start:stop]) == (
+                outcome.evicted
+            )
+
+
+@pytest.mark.slow
+def test_columnar_sweep_jobs_invariant():
+    """jobs=1 and jobs=2 produce identical sweeps on the columnar path."""
+    from repro.workloads.standard import standard_trace
+
+    trace = standard_trace("DB2_C60", target_requests=6_000)
+    requests = trace.requests()
+    cells = [
+        SweepCell(
+            x=capacity,
+            specs=(
+                PolicySpec(label="LRU", name="LRU", capacity=capacity),
+                PolicySpec(label="CLOCK", name="CLOCK", capacity=capacity),
+                PolicySpec(
+                    label="SHARDED[LRU]",
+                    name="SHARDED",
+                    capacity=capacity,
+                    kwargs={"policy": "LRU", "shards": 2, "router": "hash"},
+                ),
+            ),
+        )
+        for capacity in (32, 64)
+    ]
+
+    def run(jobs):
+        runner = ParallelSweepRunner(requests=requests, jobs=jobs, columnar=True)
+        return runner.run(cells, parameter="capacity")
+
+    serial = run(1)
+    parallel = run(2)
+    assert serial.labels() == parallel.labels()
+    for label in serial.labels():
+        assert serial.curve(label) == parallel.curve(label)
+        for a, b in zip(serial.series[label], parallel.series[label]):
+            assert a.result.stats.as_dict() == b.result.stats.as_dict()

@@ -1,0 +1,9 @@
+"""Batch-parity bad fixture registry: only RegisteredBatchPolicy is here."""
+
+from batch_parity_bad.policies import RegisteredBatchPolicy
+
+_REGISTRY = {"BATCH": RegisteredBatchPolicy}
+
+
+def available_policies():
+    return sorted(_REGISTRY)

@@ -1,0 +1,9 @@
+"""Batch-parity bad fixture suite: registry-derived, so it covers the
+registered policy — but it cannot reach the orphan."""
+
+from batch_parity_bad.registry import available_policies
+
+
+def test_parity() -> None:
+    for name in available_policies():
+        assert name

@@ -1,0 +1,38 @@
+"""Batch-parity clean fixture: every batch kernel is reachable from the
+parity suite — RegisteredBatchPolicy through the registry, NamedBatchPolicy
+by explicit mention in the suite."""
+
+
+class AccessOutcome:
+    pass
+
+
+class AccessOutcomeBatch:
+    pass
+
+
+class CachePolicy:
+    def batch_access(self, chunk) -> AccessOutcomeBatch:
+        return AccessOutcomeBatch()
+
+
+class RegisteredBatchPolicy(CachePolicy):
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def access(self, request, seq) -> AccessOutcome:
+        return AccessOutcome()
+
+    def batch_access(self, chunk) -> AccessOutcomeBatch:
+        return AccessOutcomeBatch()
+
+
+class NamedBatchPolicy(CachePolicy):
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def access(self, request, seq) -> AccessOutcome:
+        return AccessOutcome()
+
+    def batch_access(self, chunk) -> AccessOutcomeBatch:
+        return AccessOutcomeBatch()

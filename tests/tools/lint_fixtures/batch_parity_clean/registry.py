@@ -1,0 +1,9 @@
+"""Batch-parity clean fixture registry."""
+
+from batch_parity_clean.policies import RegisteredBatchPolicy
+
+_REGISTRY = {"BATCH": RegisteredBatchPolicy}
+
+
+def available_policies():
+    return sorted(_REGISTRY)

@@ -1,0 +1,14 @@
+"""Batch-parity clean fixture suite: derives cases from the registry and
+names the unregistered batch policy explicitly."""
+
+from batch_parity_clean.policies import NamedBatchPolicy
+from batch_parity_clean.registry import available_policies
+
+
+def test_parity() -> None:
+    for name in available_policies():
+        assert name
+
+
+def test_named_policy() -> None:
+    assert NamedBatchPolicy(capacity=4).capacity == 4

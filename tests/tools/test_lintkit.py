@@ -52,6 +52,7 @@ def fixture_config(**overrides) -> LintConfig:
         experiment_registry_module="registry_clean.experiments",
         golden_dir="registry_clean/golden",
         invariant_suite="registry_clean/suite.py",
+        batch_parity_suite="registry_clean/suite.py",
     )
     defaults.update(overrides)
     return LintConfig(**defaults)
@@ -72,6 +73,7 @@ def test_catalogue_covers_every_family() -> None:
         "registry-golden-fixture",
         "registry-invariant-suite",
         "registry-policy-unregistered",
+        "batch-kernel-parity",
         "typing-annotations",
     } <= ids
 
@@ -152,6 +154,73 @@ def test_registry_rules_noop_without_registry_in_analysis_set() -> None:
             experiment_registry_module="no.such.experiments",
         ),
         select=_REGISTRY_RULES,
+    )
+    assert result.violations == []
+
+
+# -------------------------------------------------------------- batch parity
+def _batch_parity_config(stem: str, **overrides) -> LintConfig:
+    defaults = dict(
+        policy_registry_module=f"{stem}.registry",
+        batch_parity_suite=f"{stem}/suite.py",
+    )
+    defaults.update(overrides)
+    return fixture_config(**defaults)
+
+
+def test_batch_parity_bad_tree_trips_rule() -> None:
+    result = run_paths(
+        [FIXTURES / "batch_parity_bad"],
+        _batch_parity_config("batch_parity_bad"),
+        select=["batch-kernel-parity"],
+    )
+    assert {v.rule_id for v in result.violations} == {"batch-kernel-parity"}
+    # The registered policy is covered through the registry; only the orphan
+    # batch kernel is flagged.
+    assert len(result.violations) == 1
+    assert "OrphanBatchPolicy" in result.violations[0].message
+
+
+def test_batch_parity_missing_suite_is_reported() -> None:
+    result = run_paths(
+        [FIXTURES / "batch_parity_bad"],
+        _batch_parity_config(
+            "batch_parity_bad", batch_parity_suite="no/such/suite.py"
+        ),
+        select=["batch-kernel-parity"],
+    )
+    assert [v.rule_id for v in result.violations] == ["batch-kernel-parity"]
+    assert "does not" in result.violations[0].message
+
+
+def test_batch_parity_suite_must_derive_from_registry() -> None:
+    # registry_clean/suite.py calls available_policies, but imports it from
+    # a different registry module — coverage cannot be registry-derived.
+    result = run_paths(
+        [FIXTURES / "batch_parity_bad"],
+        _batch_parity_config(
+            "batch_parity_bad", batch_parity_suite="registry_clean/suite.py"
+        ),
+        select=["batch-kernel-parity"],
+    )
+    assert [v.rule_id for v in result.violations] == ["batch-kernel-parity"]
+    assert "available_policies" in result.violations[0].message
+
+
+def test_batch_parity_clean_tree_passes() -> None:
+    result = run_paths(
+        [FIXTURES / "batch_parity_clean"],
+        _batch_parity_config("batch_parity_clean"),
+        select=["batch-kernel-parity"],
+    )
+    assert result.violations == []
+
+
+def test_batch_parity_noops_without_registry_in_analysis_set() -> None:
+    result = run_paths(
+        [FIXTURES / "kernel_clean.py"],
+        fixture_config(policy_registry_module="no.such.module"),
+        select=["batch-kernel-parity"],
     )
     assert result.violations == []
 

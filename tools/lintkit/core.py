@@ -96,6 +96,8 @@ class LintConfig:
     golden_dir: str = "tests/experiments/golden"
     #: The registry-derived invariant suite, relative to ``root``.
     invariant_suite: str = "tests/test_registry_invariants.py"
+    #: The scalar==batch equivalence suite (batch-kernel-parity rule).
+    batch_parity_suite: str = "tests/cache/test_batch_parity.py"
 
     def is_exempt(self, path: Path) -> bool:
         return any(part in self.exempt_parts for part in path.parts)

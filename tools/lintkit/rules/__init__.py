@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from tools.lintkit.core import Rule
+from tools.lintkit.rules.batch_parity import BatchKernelParityRule
 from tools.lintkit.rules.int_clock import IntClockFloatRule
 from tools.lintkit.rules.kernel_contract import (
     KernelAccessOutcomeRule,
@@ -43,6 +44,7 @@ ALL_RULES: tuple[Rule, ...] = (
     KernelSnapshotFieldsRule(),
     KernelNoIORule(),
     KernelRequestMutationRule(),
+    BatchKernelParityRule(),
     # family 3: observer-purity
     ObserverParamMutationRule(),
     ObserverMergeRequiredRule(),

@@ -1,0 +1,103 @@
+"""Family 2 — kernel-contract: batch-kernel parity coverage.
+
+``CachePolicy.batch_access`` is a pure performance fast path: the batch
+kernel contract says any override must be outcome-for-outcome identical to
+the scalar ``access()`` loop, and the scalar==batch equivalence suite
+(``tests/cache/test_batch_parity.py``) is what pins that.  The suite derives
+its policy list from the registry (``available_policies()``), so a policy is
+covered exactly when it is registered (or named in the suite explicitly).
+This rule closes the gap a fused kernel could otherwise slip through: an
+overriding policy that neither the registry nor the suite can reach would
+ship a batch kernel nobody ever compares against its scalar twin.
+
+Like the registry-completeness family, the rule only fires when the policy
+registry module is part of the analysis set, so fixture runs stay
+self-contained.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from tools.lintkit.core import LintConfig, Project, ProjectRule, Violation
+from tools.lintkit.rules.kernel_contract import _is_abstract, _methods, policy_classes
+
+__all__ = ["BatchKernelParityRule"]
+
+
+class BatchKernelParityRule(ProjectRule):
+    """Every ``batch_access`` override is held to the scalar==batch
+    equivalence suite: the suite derives its cases from the registry, and
+    the overriding policy is reachable from it."""
+
+    rule_id = "batch-kernel-parity"
+    summary = "every batch_access override is covered by the parity suite"
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Violation]:
+        registry_ctx = project.modules.get(config.policy_registry_module)
+        if registry_ctx is None:
+            return
+        overriders = [
+            (ctx, cls)
+            for ctx, cls in policy_classes(project)
+            if "batch_access" in _methods(cls) and not _is_abstract(cls)
+        ]
+        if not overriders:
+            return
+        suite_path = Path(config.root) / config.batch_parity_suite
+        if not suite_path.is_file():
+            yield registry_ctx.violation(
+                1,
+                self.rule_id,
+                f"batch kernels exist but the scalar==batch equivalence "
+                f"suite `{config.batch_parity_suite}` does not",
+            )
+            return
+        suite_source = suite_path.read_text(encoding="utf-8")
+        suite = ast.parse(suite_source)
+        imported = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == config.policy_registry_module
+            and any(alias.name == "available_policies" for alias in node.names)
+            for node in ast.walk(suite)
+        )
+        called = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "available_policies"
+            for node in ast.walk(suite)
+        )
+        if not (imported and called):
+            yield registry_ctx.violation(
+                1,
+                self.rule_id,
+                f"`{config.batch_parity_suite}` must import and call "
+                f"`available_policies` from `{config.policy_registry_module}` "
+                "so every registered batch kernel is compared against its "
+                "scalar twin",
+            )
+            return
+        # A registered policy is reachable through the suite's
+        # available_policies()-derived cases; anything else must be named in
+        # the suite explicitly.
+        registered = {
+            node.id
+            for node in ast.walk(registry_ctx.tree)
+            if isinstance(node, ast.Name)
+        }
+        for ctx, cls in overriders:
+            if cls.name in registered or cls.name in suite_source:
+                continue
+            yield ctx.violation(
+                cls,
+                self.rule_id,
+                f"policy class `{cls.name}` overrides batch_access but is "
+                f"neither registered in `{config.policy_registry_module}` nor "
+                f"named in `{config.batch_parity_suite}`; the scalar==batch "
+                "equivalence suite cannot hold its batch kernel to the "
+                "contract",
+            )
