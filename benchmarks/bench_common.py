@@ -24,6 +24,7 @@ from repro.experiments.common import ExperimentSettings
 
 __all__ = [
     "BENCH_SETTINGS",
+    "effective_jobs",
     "emit_bench_json",
     "print_sweep",
     "print_rows",
@@ -48,6 +49,18 @@ def usable_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+def effective_jobs(requested: int) -> int:
+    """Clamp a requested worker count to the CPUs this process can use.
+
+    Fanning a grid over more processes than the affinity mask allows only
+    adds fork/IPC cost on top of time-slicing — on a 1-CPU runner the old
+    ``jobs=4`` default made the "parallel" paths measurably *slower* than
+    serial while the JSON record claimed a 4-way run.  Benches must sweep
+    with the clamped value and record both requested and effective counts.
+    """
+    return max(1, min(requested, usable_cpus()))
 
 
 def emit_bench_json(path, bench: str, grid: dict, seconds: dict, **extra):

@@ -42,14 +42,29 @@ pre-refactor baseline captured on the machine that ran the refactor, so the
 perf trajectory of the replay core is tracked in version control.
 
 A second, columnar four-way follows: the batch-kernel grid (LRU / FIFO /
-CLOCK — the policies with fused ``batch_access`` kernels) is swept four
-ways over the same cached binary trace — object serial, object ``jobs=N``,
-columnar serial, columnar ``jobs=N`` — with two gates:
+CLOCK plus the hint-aware and adaptive kernels added since — ARC, CAR and
+CLIC) is swept four ways over the same cached binary trace — object serial,
+object ``jobs=N``, columnar serial, columnar ``jobs=N`` — with two gates:
 
 * **columnar identity** — all four paths must produce identical per-point
   hit/miss stats: the columnar path is a pure fast path, never a fork;
-* **columnar speedup** — columnar serial must replay at >=
-  ``--columnar-gate`` (default 3.0x) the object-serial throughput.
+* **columnar speedup (full grid)** — columnar serial must replay the
+  full grid at >= ``--columnar-gate`` (default 2.0x) the object-serial
+  throughput.  The hint-aware/adaptive kernels are intrinsically
+  sequential state machines (every request reads state the previous one
+  wrote), so their batch loops win ~1.5-2.5x over scalar replay — they
+  bound the full-grid aggregate far below the infra-only number, and the
+  gate is set accordingly (measured value in ``BENCH_9.json``);
+* **columnar core speedup** — the LRU/FIFO/CLOCK subset, where batching
+  eliminates nearly all per-request engine overhead, must replay at >=
+  ``--columnar-core-gate`` (default 3.5x, raised from the 3.0x the grid
+  first shipped with).  This continues the metric the original
+  ``BENCH_9.json`` recorded, so the perf trajectory stays comparable.
+
+``--jobs`` is clamped to the usable CPU count before any sweep runs
+(over-subscribing a 1-CPU runner just adds fork cost while the record
+claims parallelism); both the requested and the effective counts land in
+the JSON records.
 
 The columnar section writes ``BENCH_9.json`` (``--json9``, same
 conventions) via :func:`bench_common.emit_bench_json`.
@@ -66,7 +81,7 @@ import sys
 import time
 from pathlib import Path
 
-from bench_common import emit_bench_json, usable_cpus
+from bench_common import effective_jobs, emit_bench_json, usable_cpus
 
 from repro.cache.base import CacheStats
 from repro.cache.registry import create_policy
@@ -78,10 +93,19 @@ from repro.simulation.sweep import sweep_cache_sizes
 DEFAULT_POLICIES = ("OPT", "LRU", "ARC", "TQ")
 DEFAULT_SIZES = (450, 900, 1_800, 3_600)
 #: The columnar four-way grid: every policy with a fused batch kernel.
-COLUMNAR_POLICIES = ("LRU", "FIFO", "CLOCK")
-#: Columnar-speedup gate: columnar serial must replay at this multiple of
-#: the object-serial throughput (ISSUE 9 acceptance floor).
-COLUMNAR_SPEEDUP_GATE = 3.0
+COLUMNAR_POLICIES = ("LRU", "FIFO", "CLOCK", "ARC", "CAR", "CLIC")
+#: The engine-overhead-dominated subset whose aggregate the original
+#: BENCH_9.json gated at 3.0x; kept as its own metric so the number stays
+#: comparable across PRs now that the heavy kernels joined the grid.
+COLUMNAR_CORE_POLICIES = ("LRU", "FIFO", "CLOCK")
+#: Full-grid columnar-speedup gate.  The hint-aware/adaptive kernels (ARC,
+#: CAR, CLIC) are sequential state machines whose batch loops win ~1.5-2.5x
+#: over scalar replay; they dominate the grid's columnar time and cap the
+#: aggregate (measured ~2.4x on the 1-CPU reference box) far below the
+#: core subset's number.
+COLUMNAR_SPEEDUP_GATE = 2.0
+#: Core-subset gate, raised from the original 3.0 (measured ~4.1x).
+COLUMNAR_CORE_SPEEDUP_GATE = 3.5
 
 #: The last pre-refactor run of this benchmark (policies owned their stats,
 #: CacheSimulator had its own replay loop), captured with the CI settings
@@ -142,14 +166,8 @@ def engine_sweep(requests, cache_sizes, policies, jobs):
     return {name: sweep.curve(name) for name in policies}
 
 
-def columnar_four_way(spec, cache_sizes, policies, jobs, repeat):
-    """Sweep the batch-kernel grid object/columnar x serial/jobs=N.
-
-    Returns ``(timings, sweeps)``: best-of-*repeat* seconds and the
-    :class:`SweepResult` per path, all replayed from the same cached binary
-    trace so the columnar path decodes straight into arrays.
-    """
-    cells = [
+def _grid_cells(cache_sizes, policies):
+    return [
         SweepCell(
             x=float(capacity),
             specs=tuple(
@@ -159,12 +177,9 @@ def columnar_four_way(spec, cache_sizes, policies, jobs, repeat):
         )
         for capacity in cache_sizes
     ]
-    paths = {
-        "object serial": dict(jobs=1, columnar=False),
-        f"object jobs={jobs}": dict(jobs=jobs, columnar=False),
-        "columnar serial": dict(jobs=1, columnar=True),
-        f"columnar jobs={jobs}": dict(jobs=jobs, columnar=True),
-    }
+
+
+def _time_paths(spec, cells, paths, repeat):
     timings, sweeps = {}, {}
     for label, options in paths.items():
         best = None
@@ -177,6 +192,36 @@ def columnar_four_way(spec, cache_sizes, policies, jobs, repeat):
                 best, sweeps[label] = elapsed, sweep
         timings[label] = best
     return timings, sweeps
+
+
+def columnar_four_way(spec, cache_sizes, policies, jobs, repeat):
+    """Sweep the batch-kernel grid object/columnar x serial/jobs=N.
+
+    Returns ``(timings, sweeps)``: best-of-*repeat* seconds and the
+    :class:`SweepResult` per path, all replayed from the same cached binary
+    trace so the columnar path decodes straight into arrays.
+    """
+    paths = {
+        "object serial": dict(jobs=1, columnar=False),
+        f"object jobs={jobs}": dict(jobs=jobs, columnar=False),
+        "columnar serial": dict(jobs=1, columnar=True),
+        f"columnar jobs={jobs}": dict(jobs=jobs, columnar=True),
+    }
+    return _time_paths(spec, _grid_cells(cache_sizes, policies), paths, repeat)
+
+
+def columnar_serial_pair(spec, cache_sizes, policies, repeat):
+    """Time object-serial vs columnar-serial over a (sub)grid.
+
+    Used for the core LRU/FIFO/CLOCK subset, whose speedup is gated
+    separately from the full grid (see module docstring).
+    """
+    paths = {
+        "core object serial": dict(jobs=1, columnar=False),
+        "core columnar serial": dict(jobs=1, columnar=True),
+    }
+    timings, _ = _time_paths(spec, _grid_cells(cache_sizes, policies), paths, repeat)
+    return timings
 
 
 def main(argv=None) -> int:
@@ -208,8 +253,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--columnar-gate", type=float, default=COLUMNAR_SPEEDUP_GATE,
-        help="columnar serial must be this multiple of object serial "
-             f"(default: {COLUMNAR_SPEEDUP_GATE})",
+        help="columnar serial must be this multiple of object serial over "
+             f"the full batch-kernel grid (default: {COLUMNAR_SPEEDUP_GATE})",
+    )
+    parser.add_argument(
+        "--columnar-core-gate", type=float, default=COLUMNAR_CORE_SPEEDUP_GATE,
+        help="same gate over the LRU/FIFO/CLOCK core subset "
+             f"(default: {COLUMNAR_CORE_SPEEDUP_GATE})",
     )
     parser.add_argument(
         "--no-check", action="store_true",
@@ -222,6 +272,10 @@ def main(argv=None) -> int:
         parser.error("--policies must name at least one policy")
     if not sizes:
         parser.error("--sizes must name at least one cache size")
+
+    jobs = effective_jobs(args.jobs)
+    if jobs != args.jobs:
+        print(f"jobs: requested {args.jobs}, clamped to {jobs} usable CPU(s)")
 
     settings = ExperimentSettings(target_requests=args.requests, seed=args.seed)
     requests = generate_trace(args.trace, settings).requests()
@@ -250,8 +304,8 @@ def main(argv=None) -> int:
     timings["engine serial"], engine_curves = timed(
         lambda: engine_sweep(requests, sizes, policies, jobs=1)
     )
-    timings[f"engine jobs={args.jobs}"], parallel_curves = timed(
-        lambda: engine_sweep(requests, sizes, policies, jobs=args.jobs)
+    timings[f"engine jobs={jobs}"], parallel_curves = timed(
+        lambda: engine_sweep(requests, sizes, policies, jobs=jobs)
     )
 
     # --- Correctness: all four paths must agree exactly.
@@ -263,7 +317,7 @@ def main(argv=None) -> int:
             f"{name}: engine serial diverged from the seed path"
         )
         assert parallel_curves[name] == seed_curves[name], (
-            f"{name}: engine jobs={args.jobs} diverged from the seed path"
+            f"{name}: engine jobs={jobs} diverged from the seed path"
         )
     print("hit-ratio output: identical across all four paths")
 
@@ -275,7 +329,7 @@ def main(argv=None) -> int:
     overhead = timings["pipeline serial"] / baseline
     shared_overhead = timings["engine serial"] / timings["pipeline serial"]
     best_speedup = baseline / min(
-        timings["engine serial"], timings[f"engine jobs={args.jobs}"]
+        timings["engine serial"], timings[f"engine jobs={jobs}"]
     )
     cpus = usable_cpus()
     print(f"\nusable CPUs: {cpus}")
@@ -291,6 +345,8 @@ def main(argv=None) -> int:
             "policies": list(policies),
             "sizes": list(sizes),
             "repeat": args.repeat,
+            "jobs_requested": args.jobs,
+            "jobs_effective": jobs,
         },
         timings,
         observer_dispatch_overhead=round(overhead, 4),
@@ -305,7 +361,7 @@ def main(argv=None) -> int:
     spec.ensure()
     columnar_policies = tuple(p for p in COLUMNAR_POLICIES)
     col_timings, col_sweeps = columnar_four_way(
-        spec, sizes, columnar_policies, args.jobs, args.repeat
+        spec, sizes, columnar_policies, jobs, args.repeat
     )
 
     # Hard identity gate: every path yields identical per-point stats.
@@ -337,6 +393,16 @@ def main(argv=None) -> int:
     print(f"columnar serial speedup: {columnar_speedup:.2f}x "
           f"(gate >= {args.columnar_gate:.2f}x)")
 
+    core_policies = tuple(
+        p for p in COLUMNAR_CORE_POLICIES if p in columnar_policies
+    )
+    core_timings = columnar_serial_pair(spec, sizes, core_policies, args.repeat)
+    columnar_core_speedup = (
+        core_timings["core object serial"] / core_timings["core columnar serial"]
+    )
+    print(f"columnar core speedup ({'/'.join(core_policies)}): "
+          f"{columnar_core_speedup:.2f}x (gate >= {args.columnar_core_gate:.2f}x)")
+
     emit_bench_json(
         args.json9,
         "bench_engine_columnar",
@@ -344,14 +410,18 @@ def main(argv=None) -> int:
             "trace": args.trace,
             "requests": len(requests),
             "policies": list(columnar_policies),
+            "core_policies": list(core_policies),
             "sizes": list(sizes),
             "repeat": args.repeat,
-            "jobs": args.jobs,
+            "jobs_requested": args.jobs,
+            "jobs_effective": jobs,
         },
-        col_timings,
+        {**col_timings, **core_timings},
         columnar_identical=columnar_identical,
         columnar_speedup=round(columnar_speedup, 4),
         columnar_speedup_gate=args.columnar_gate,
+        columnar_core_speedup=round(columnar_core_speedup, 4),
+        columnar_core_speedup_gate=args.columnar_core_gate,
     )
 
     if args.no_check:
@@ -386,6 +456,10 @@ def main(argv=None) -> int:
     if columnar_speedup < args.columnar_gate:
         print(f"FAIL: columnar serial speedup {columnar_speedup:.2f}x below "
               f"the {args.columnar_gate:.2f}x gate")
+        ok = False
+    if columnar_core_speedup < args.columnar_core_gate:
+        print(f"FAIL: columnar core speedup {columnar_core_speedup:.2f}x "
+              f"below the {args.columnar_core_gate:.2f}x gate")
         ok = False
     if ok:
         print(f"PASS: best speedup {best_speedup:.2f}x "

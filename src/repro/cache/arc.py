@@ -20,11 +20,19 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
-from repro.cache.base import HIT, AccessOutcome, CachePolicy
+from repro.cache.base import (
+    HIT,
+    AccessOutcome,
+    AccessOutcomeBatch,
+    CachePolicy,
+    _admit_batch,
+    _all_hit_batch,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = ["ARCPolicy"]
 
@@ -107,6 +115,107 @@ class ARCPolicy(CachePolicy):
             evicted = (self._replace(in_b2=False),)
         self._t1[page] = None
         return AccessOutcome(False, admitted=True, evicted=evicted)
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        # Fused batch kernel, bit-identical to the access() loop (pinned by
+        # tests/cache/test_batch_parity.py).  Misses and ghost hits mutate
+        # the ghost lists the next request reads, so the general path is a
+        # lean loop with locally-bound dict ops; a chunk whose pages are all
+        # resident (Case I throughout) skips the per-request flag/ghost work
+        # and only performs the ordered T1->T2 / MRU moves.
+        pages = chunk.page.tolist()
+        t1 = self._t1
+        t2 = self._t2
+        n = len(pages)
+
+        if all(page in t1 or page in t2 for page in pages):
+            for page in pages:
+                if page in t1:
+                    del t1[page]
+                else:
+                    del t2[page]
+                t2[page] = None
+            return _all_hit_batch(n)
+
+        b1 = self._b1
+        b2 = self._b2
+        c = self.capacity
+        p = self._p
+        hit_flags = bytearray(n)
+        evict_pos: list[int] = []
+        evicted: list[int] = []
+        # REPLACE(x, p) is inlined at its three call sites below, with the
+        # adaptation parameter kept in the local ``p`` (written back once at
+        # the end) — the dominant per-miss cost in this loop.
+        for i, page in enumerate(pages):
+            # Case I: hit in T1 or T2 -> move to MRU of T2.
+            if page in t1:
+                del t1[page]
+                t2[page] = None
+                hit_flags[i] = 1
+            elif page in t2:
+                del t2[page]
+                t2[page] = None
+                hit_flags[i] = 1
+            # Case II: ghost hit in B1 -> favour recency (grow p).
+            elif page in b1:
+                delta = 1.0 if len(b1) >= len(b2) else len(b2) / len(b1)
+                p = min(p + delta, float(c))
+                if t1 and len(t1) > p:
+                    victim, _ = t1.popitem(last=False)
+                    b1[victim] = None
+                else:
+                    victim, _ = t2.popitem(last=False)
+                    b2[victim] = None
+                evicted.append(victim)
+                evict_pos.append(i)
+                del b1[page]
+                t2[page] = None
+            # Case III: ghost hit in B2 -> favour frequency (shrink p).
+            elif page in b2:
+                delta = 1.0 if len(b2) >= len(b1) else len(b1) / len(b2)
+                p = max(p - delta, 0.0)
+                if t1 and (len(t1) > p or len(t1) == int(p)):
+                    victim, _ = t1.popitem(last=False)
+                    b1[victim] = None
+                else:
+                    victim, _ = t2.popitem(last=False)
+                    b2[victim] = None
+                evicted.append(victim)
+                evict_pos.append(i)
+                del b2[page]
+                t2[page] = None
+            # Case IV: complete miss.
+            else:
+                l1 = len(t1) + len(b1)
+                if l1 == c:
+                    if len(t1) < c:
+                        b1.popitem(last=False)
+                        if t1 and len(t1) > p:
+                            victim, _ = t1.popitem(last=False)
+                            b1[victim] = None
+                        else:
+                            victim, _ = t2.popitem(last=False)
+                            b2[victim] = None
+                    else:
+                        # B1 is empty; evict the LRU page of T1 directly.
+                        victim, _ = t1.popitem(last=False)
+                    evicted.append(victim)
+                    evict_pos.append(i)
+                elif l1 < c and l1 + len(t2) + len(b2) >= c:
+                    if l1 + len(t2) + len(b2) == 2 * c:
+                        b2.popitem(last=False)
+                    if t1 and len(t1) > p:
+                        victim, _ = t1.popitem(last=False)
+                        b1[victim] = None
+                    else:
+                        victim, _ = t2.popitem(last=False)
+                        b2[victim] = None
+                    evicted.append(victim)
+                    evict_pos.append(i)
+                t1[page] = None
+        self._p = p
+        return _admit_batch(hit_flags, evict_pos, evicted)
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

@@ -252,6 +252,49 @@ def _admit_batch(
     return AccessOutcomeBatch(hit, ~hit, bypassed, pages, offsets)
 
 
+def _mixed_batch(
+    hit_flags: bytearray,
+    admit_flags: bytearray,
+    bypass_flags: bytearray,
+    evict_pos: list[int],
+    evicted: list[int],
+) -> AccessOutcomeBatch:
+    """Assemble a batch for kernels that may bypass (the CLIC shape).
+
+    Explicit 0/1 flags per request for hit/admitted/bypassed, plus at most
+    one eviction per access (``evict_pos[k]`` evicted ``evicted[k]``).
+    """
+    if _np is None:  # pragma: no cover - batch paths require numpy
+        raise RuntimeError("AccessOutcomeBatch requires numpy")
+    n = len(hit_flags)
+    hit = _np.frombuffer(bytes(hit_flags), dtype=_np.bool_)
+    admitted = _np.frombuffer(bytes(admit_flags), dtype=_np.bool_)
+    bypassed = _np.frombuffer(bytes(bypass_flags), dtype=_np.bool_)
+    offsets = _np.zeros(n + 1, _np.int64)
+    if evicted:
+        counts = _np.zeros(n, _np.int64)
+        counts[evict_pos] = 1
+        _np.cumsum(counts, out=offsets[1:])
+        pages = _np.array(evicted, _np.int64)
+    else:
+        pages = _np.zeros(0, _np.int64)
+    return AccessOutcomeBatch(hit, admitted, bypassed, pages, offsets)
+
+
+def _all_hit_batch(n: int) -> AccessOutcomeBatch:
+    """Assemble the batch for a chunk where every request hit (no state
+    change other than recency/reference updates)."""
+    if _np is None:  # pragma: no cover - batch paths require numpy
+        raise RuntimeError("AccessOutcomeBatch requires numpy")
+    return AccessOutcomeBatch(
+        _np.ones(n, _np.bool_),
+        _np.zeros(n, _np.bool_),
+        _np.zeros(n, _np.bool_),
+        _np.zeros(0, _np.int64),
+        _np.zeros(n + 1, _np.int64),
+    )
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one simulation run of a single policy.
@@ -438,7 +481,7 @@ class CachePolicy(abc.ABC):
         ``batch-kernel-parity`` rule enforces this.
         """
         requests = chunk.requests()
-        outcomes = list(map(self.access, requests, chunk.seq.tolist()))
+        outcomes = list(map(self.access, requests, chunk.seq_list()))
         return AccessOutcomeBatch.from_outcomes(outcomes)
 
     @abc.abstractmethod

@@ -13,11 +13,19 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Iterable
 
-from repro.cache.base import HIT, AccessOutcome, CachePolicy
+from repro.cache.base import (
+    HIT,
+    AccessOutcome,
+    AccessOutcomeBatch,
+    CachePolicy,
+    _admit_batch,
+    _all_hit_batch,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = ["CARPolicy"]
 
@@ -112,6 +120,109 @@ class CARPolicy(CachePolicy):
             self._in_t2.add(page)
             self._ref[page] = False
         return AccessOutcome(False, admitted=True, evicted=evicted)
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        # Fused batch kernel, bit-identical to the access() loop (pinned by
+        # tests/cache/test_batch_parity.py).  A hit only sets the page's
+        # reference bit — a fully order-independent update — so a chunk
+        # whose pages are all resident collapses to one bit-set per distinct
+        # page; otherwise a lean loop mirrors access() (the clocks and ghost
+        # lists each miss reads depend on every prior request).
+        pages = chunk.page.tolist()
+        ref = self._ref
+        n = len(pages)
+
+        distinct = dict.fromkeys(pages)
+        if all(page in ref for page in distinct):
+            for page in distinct:
+                ref[page] = True
+            return _all_hit_batch(n)
+
+        t1 = self._t1
+        t2 = self._t2
+        t1_popleft = t1.popleft
+        t1_append = t1.append
+        t2_popleft = t2.popleft
+        t2_append = t2.append
+        in_t1 = self._in_t1
+        in_t2 = self._in_t2
+        b1 = self._b1
+        b2 = self._b2
+        c = self.capacity
+        p = self._p
+        hit_flags = bytearray(n)
+        evict_pos: list[int] = []
+        evicted: list[int] = []
+        # The replace() clock sweep is inlined below, with the adaptation
+        # parameter kept in the local ``p`` (written back once at the end)
+        # and its T1-threshold ``max(1, int(p))`` recomputed only when ``p``
+        # changes — the dominant per-miss cost in this loop.
+        p_min = 1 if p < 1.0 else int(p)
+        for i, page in enumerate(pages):
+            if page in ref:
+                ref[page] = True
+                hit_flags[i] = 1
+                continue
+
+            in_b1 = page in b1
+            in_b2 = page in b2
+
+            if len(ref) == c:
+                while True:
+                    if len(t1) >= p_min and t1:
+                        victim = t1_popleft()
+                        if ref[victim]:
+                            # Second chance: to tail of T2, bit cleared.
+                            ref[victim] = False
+                            in_t1.discard(victim)
+                            in_t2.add(victim)
+                            t2_append(victim)
+                        else:
+                            in_t1.discard(victim)
+                            del ref[victim]
+                            b1[victim] = None
+                            break
+                    elif t2:
+                        victim = t2_popleft()
+                        if ref[victim]:
+                            ref[victim] = False
+                            t2_append(victim)
+                        else:
+                            in_t2.discard(victim)
+                            del ref[victim]
+                            b2[victim] = None
+                            break
+                    else:  # pragma: no cover - capacity 0 is rejected upstream
+                        victim = None
+                        break
+                if victim is not None:
+                    evicted.append(victim)
+                    evict_pos.append(i)
+                # Ghost-list housekeeping on a complete miss.
+                if not in_b1 and not in_b2:
+                    if len(t1) + len(b1) > c and b1:
+                        b1.popitem(last=False)
+                    elif len(ref) + len(b1) + len(b2) > 2 * c and b2:
+                        b2.popitem(last=False)
+
+            if not in_b1 and not in_b2:
+                t1_append(page)
+                in_t1.add(page)
+            elif in_b1:
+                p = min(p + max(1.0, len(b2) / max(1, len(b1))), float(c))
+                p_min = 1 if p < 1.0 else int(p)
+                del b1[page]
+                t2_append(page)
+                in_t2.add(page)
+            else:
+                p = max(p - max(1.0, len(b1) / max(1, len(b2))), 0.0)
+                p_min = 1 if p < 1.0 else int(p)
+                del b2[page]
+                t2_append(page)
+                in_t2.add(page)
+            ref[page] = False
+        self._p = p
+        return _admit_batch(hit_flags, evict_pos, evicted)
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

@@ -28,16 +28,25 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.cache.base import HIT, MISS_ADMIT, MISS_BYPASS, AccessOutcome, CachePolicy
+from repro.cache.base import (
+    HIT,
+    MISS_ADMIT,
+    MISS_BYPASS,
+    AccessOutcome,
+    AccessOutcomeBatch,
+    CachePolicy,
+    _mixed_batch,
+)
 from repro.core.config import CLICConfig
 from repro.core.grouping import project_hint_key
 from repro.core.hints import HintSet
-from repro.core.outqueue import OutQueue
+from repro.core.outqueue import OutQueue, OutQueueEntry
 from repro.core.priority import PriorityManager
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported for type annotations only (avoids an import cycle)
     from repro.simulation.request import IORequest
+    from repro.trace.columnar import ColumnarChunk
 
 __all__ = ["CLICPolicy"]
 
@@ -236,6 +245,158 @@ class CLICPolicy(CachePolicy):
             self._rebuild_heap()
 
         return outcome
+
+    def batch_access(self, chunk: "ColumnarChunk") -> AccessOutcomeBatch:
+        # Fused batch kernel.  The cache-management half of CLIC is
+        # inherently sequential (each request sees the heap/outqueue state
+        # the previous one left), so the loop below performs the exact
+        # mutation-helper calls of access() in the same order — bit-identical
+        # by construction, pinned by tests/cache/test_batch_parity.py.  What
+        # the kernel batches away:
+        #
+        # * request/outcome object materialisation (columns are consumed as
+        #   plain lists, outcomes assembled as flag arrays);
+        # * hint-key projection — once per hint-dictionary entry instead of
+        #   once per request;
+        # * tracker updates — priorities only change at window boundaries,
+        #   so within a window segment the tracker is invisible to cache
+        #   management; its updates are deferred and applied per segment as
+        #   per-key counts (PriorityManager.record_segment) whenever the
+        #   tracker can absorb them exactly.  A Space-Saving tracker whose
+        #   counters would recycle mid-segment falls back to ordered
+        #   per-request updates inside the same loop, preserving tie-breaks.
+        priorities = self._priorities
+        tracker = priorities.tracker
+        projection = self._config.hint_projection
+        key_of_id = [
+            project_hint_key(hints, projection) for hints in chunk.hint_sets
+        ]
+        pages = chunk.page.tolist()
+        writes = chunk.write.tolist()
+        hint_ids = chunk.hint_id.tolist()
+        seqs = chunk.seq_list()
+
+        cached = self._cached
+        cached_get = cached.get
+        outqueue = self._outqueue
+        oq_entries = outqueue.entries
+        oq_capacity = outqueue.capacity
+        oq_get = oq_entries.get
+        effective_capacity = self._effective_capacity
+        refresh = self._refresh_cached
+        admit = self._admit
+        peek_victim = self._peek_victim
+        evict_list = self._evict
+
+        n = len(chunk)
+        hit_flags = bytearray(n)
+        admit_flags = bytearray(n)
+        bypass_flags = bytearray(n)
+        evict_pos: list[int] = []
+        evicted: list[int] = []
+
+        start = 0
+        while start < n:
+            # One segment per window: the boundary falls between requests
+            # exactly where the scalar loop would close the window.
+            stop = min(n, start + priorities.window_room())
+            segment_keys = {key_of_id[h] for h in set(hint_ids[start:stop])}
+            defer = tracker.can_defer(segment_keys)
+            # Per-key request counts; the pop-and-reinsert update keeps the
+            # dict in last-occurrence order, which record_segment requires.
+            counts: dict[tuple, int] = {}
+            rerefs: list[tuple[tuple, int]] = []
+            accepts = tracker.accepts_rereference
+            record_reref = priorities.record_read_rereference
+            record_request = priorities.record_request
+            # Priorities are frozen until the window closes (= the segment
+            # boundary), so Pr(H) lookups bind the manager's live mapping;
+            # the mapping object is replaced at the boundary, hence the
+            # per-segment rebind.
+            priority_get = priorities.mapping.get
+            window_closed = False
+            for i, page, seq, hint_id, write in zip(
+                range(start, stop),
+                pages[start:stop],
+                seqs[start:stop],
+                hint_ids[start:stop],
+                writes[start:stop],
+            ):
+                hint_key = key_of_id[hint_id]
+
+                # Hint analysis (Section 3.1), as in access().  In deferred
+                # mode the credit is gated now — tracked at segment start or
+                # requested earlier in this segment — and recorded at the
+                # segment boundary; membership only grows in a no-recycle
+                # segment, so the late apply is exact.
+                meta = cached_get(page)
+                if meta is not None:
+                    prev_seq, prev_key = meta.seq, meta.hint_key
+                else:
+                    oq_entry = oq_get(page)
+                    if oq_entry is not None:
+                        prev_seq, prev_key = oq_entry.seq, oq_entry.hint_key
+                    else:
+                        prev_seq = prev_key = None
+                if prev_seq is not None and not write and seq > prev_seq:
+                    if defer:
+                        if accepts(prev_key) or prev_key in counts:
+                            rerefs.append((prev_key, seq - prev_seq))
+                    else:
+                        record_reref(prev_key, seq - prev_seq)
+
+                # Cache management (Figure 4): the same helper calls in the
+                # same order as access().
+                if meta is not None:
+                    refresh(page, seq, hint_key)
+                    hit_flags[i] = 1
+                elif len(cached) < effective_capacity:
+                    admit(page, seq, hint_key)
+                    admit_flags[i] = 1
+                else:
+                    pr = priority_get(hint_key, 0.0)
+                    if pr == 0.0:
+                        # Pr(H) == 0 can never beat the victim's priority m
+                        # (priorities are nonnegative, Equation 2), so the
+                        # outcome is a bypass without consulting the heap.
+                        # Deferring _peek_victim's lazy cleanup is invisible:
+                        # the victim it eventually returns is determined by
+                        # the minimum (priority, head seq) over *valid*
+                        # entries, which the skipped cleanup does not change.
+                        bypass = True
+                    else:
+                        victim = peek_victim()
+                        bypass = victim is None or pr <= victim[0]
+                    if bypass:
+                        # Inline OutQueue.put — the hot call on mostly-miss
+                        # streams; must mirror its refresh/overflow semantics.
+                        if oq_capacity:
+                            if page in oq_entries:
+                                del oq_entries[page]
+                            elif len(oq_entries) >= oq_capacity:
+                                oq_entries.popitem(last=False)
+                            oq_entries[page] = OutQueueEntry(seq, hint_key)
+                        bypass_flags[i] = 1
+                    else:
+                        evicted.append(evict_list(victim[2]))
+                        evict_pos.append(i)
+                        admit(page, seq, hint_key)
+                        admit_flags[i] = 1
+
+                # Window accounting (Section 3.2).
+                if defer:
+                    counts[hint_key] = counts.pop(hint_key, 0) + 1
+                else:
+                    window_closed = record_request(hint_key)
+            if defer:
+                window_closed = priorities.record_segment(
+                    list(counts.items()), rerefs, stop - start
+                )
+            if window_closed:
+                self._rebuild_heap()
+            start = stop
+
+        return _mixed_batch(hit_flags, admit_flags, bypass_flags, evict_pos, evicted)
 
     # ------------------------------------------------------------ inspection
     def contains(self, page: int) -> bool:

@@ -13,15 +13,18 @@ priority.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 __all__ = ["OutQueueEntry", "OutQueue"]
 
 
-@dataclass(frozen=True, slots=True)
-class OutQueueEntry:
-    """Most-recent-request metadata remembered for one uncached page."""
+class OutQueueEntry(NamedTuple):
+    """Most-recent-request metadata remembered for one uncached page.
+
+    A named tuple rather than a dataclass: entries are constructed once per
+    bypassed request on the batch fast path, and tuple construction is
+    several times cheaper than a frozen dataclass ``__init__``.
+    """
 
     seq: int
     hint_key: tuple
@@ -49,6 +52,17 @@ class OutQueue:
     def get(self, page: int) -> OutQueueEntry | None:
         """Return the remembered entry for *page*, or ``None``."""
         return self._entries.get(page)
+
+    @property
+    def entries(self) -> OrderedDict[int, OutQueueEntry]:
+        """The live page -> entry map, least-recently inserted first.
+
+        Exposed for batch kernels that inline :meth:`get`/:meth:`put` in a
+        hot loop.  Mutations must preserve :meth:`put` semantics (refresh
+        moves to the tail; overflow pops the head) — the scalar and batch
+        paths share this state and must stay bit-identical.
+        """
+        return self._entries
 
     def put(self, page: int, seq: int, hint_key: tuple) -> int | None:
         """Insert or refresh the entry for *page*.

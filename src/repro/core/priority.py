@@ -14,7 +14,7 @@ Hint sets that have never been observed have priority zero.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.statistics import (
     HintSetStats,
@@ -75,6 +75,17 @@ class PriorityManager:
         """Current caching priority ``Pr(H)``; zero for unknown hint sets."""
         return self._priorities.get(hint_key, 0.0)
 
+    @property
+    def mapping(self) -> Mapping[tuple, float]:
+        """The live priority map (hint-set key -> Pr(H)).
+
+        Exposed for batch kernels that look priorities up in a hot loop:
+        the mapping is frozen between window boundaries, but the *object*
+        is replaced when a window closes, so bindings must not outlive a
+        segment.  Treat as read-only; missing keys mean priority 0.0.
+        """
+        return self._priorities
+
     def priorities(self) -> Mapping[tuple, float]:
         """A copy of the current priority assignment."""
         return dict(self._priorities)
@@ -95,6 +106,50 @@ class PriorityManager:
     def record_read_rereference(self, hint_key: tuple, distance: int) -> None:
         """Credit a read re-reference to the hint set of the original request."""
         self._tracker.record_read_rereference(hint_key, distance)
+
+    def window_room(self) -> int:
+        """Requests the current window still accepts before it closes.
+
+        Always >= 1: a window is finished the moment it fills, so the batch
+        path can segment a chunk by taking at most this many requests per
+        :meth:`record_segment` call.
+        """
+        return self._window_size - self._requests_in_window
+
+    def record_segment(
+        self,
+        counts: Sequence[tuple[tuple, int]],
+        rereferences: Sequence[tuple[tuple, int]],
+        requests: int,
+    ) -> bool:
+        """Apply one deferred batch segment; returns whether it closed the window.
+
+        *counts* holds ``(hint_key, n)`` pairs in **last-occurrence order**
+        (the order the keys were last requested within the segment) — that is
+        what keeps a Space-Saving tracker's tie-break order identical to the
+        sequential replay.  *rereferences* holds ``(hint_key, distance)``
+        credits in stream order, pre-filtered by the caller with
+        segment-start :meth:`HintStatsTracker.accepts_rereference` semantics;
+        applying them after the counts is exact because tracked-set
+        membership only grows within a no-recycle segment.  The segment must
+        not span a window boundary (``requests <= window_room()``), so the
+        boundary falls on exactly the same request as in scalar replay.
+        """
+        if requests > self.window_room():
+            raise ValueError(
+                f"segment of {requests} requests overruns the window "
+                f"(room {self.window_room()})"
+            )
+        tracker = self._tracker
+        for hint_key, count in counts:
+            tracker.record_request_count(hint_key, count)
+        for hint_key, distance in rereferences:
+            tracker.record_read_rereference(hint_key, distance)
+        self._requests_in_window += requests
+        if self._requests_in_window >= self._window_size:
+            self._finish_window()
+            return True
+        return False
 
     def _finish_window(self) -> None:
         window_priorities = self._tracker.priorities()

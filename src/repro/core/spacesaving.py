@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Iterable, Mapping
 
 from repro.core.statistics import HintSetStats, HintStatsTracker
 
@@ -117,6 +117,42 @@ class SpaceSaving:
         self._items[item] = entry
         self._push(entry)
         return victim, True
+
+    def offer_repeat(self, item: Hashable, repeat: int) -> None:
+        """Process *repeat* consecutive occurrences of one item at once.
+
+        Counter-recycling is where tie-break order is decided, so this fast
+        path refuses to replace: the caller must check :meth:`would_recycle`
+        over the batch's distinct items first and fall back to ordered
+        :meth:`offer` calls when recycling is possible.  For the no-recycle
+        case a single push with a fresh tiebreak leaves the heap's *pop
+        order* exactly as ``repeat`` sequential offers would have: an item's
+        tiebreak always reflects its most recent offer, so batching items in
+        last-occurrence order preserves the relative order among equal
+        counts (pinned by the batch-vs-scalar regression suite in
+        ``tests/core/test_spacesaving.py``).
+        """
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        entry = self._items.get(item)
+        if entry is None:
+            if len(self._items) >= self._k:
+                raise ValueError(
+                    "offer_repeat would recycle a counter; replay the batch "
+                    "through ordered offer() calls instead"
+                )
+            entry = TrackedItem(item=item, count=repeat, error=0)
+            self._items[item] = entry
+        else:
+            entry.count += repeat
+        self._processed += repeat
+        self._push(entry)
+
+    def would_recycle(self, items: Iterable[Hashable]) -> bool:
+        """Whether offering every item of *items* could replace a counter."""
+        tracked = self._items
+        new = len({item for item in items if item not in tracked})
+        return len(tracked) + new > self._k
 
     def _push(self, entry: TrackedItem) -> None:
         entry.tiebreak = next(self._tiebreak)
@@ -211,6 +247,32 @@ class SpaceSavingTracker(HintStatsTracker):
         stats = self._side.setdefault(hint_key, HintSetStats())
         stats.read_rereferences += 1
         stats.distance_total += distance
+
+    # ------------------------------------------------------------- batch path
+    def accepts_rereference(self, hint_key: tuple) -> bool:
+        """A re-reference credit counts only while the hint set is tracked."""
+        return hint_key in self._summary
+
+    def can_defer(self, hint_keys: Iterable[tuple]) -> bool:
+        """Deferred batching is exact only when no counter is recycled.
+
+        Replacement decides tie-breaks among equal-count items, so a segment
+        whose distinct hint keys would overflow the ``k`` counters must be
+        replayed through ordered :meth:`record_request` calls instead.
+        """
+        return not self._summary.would_recycle(hint_keys)
+
+    def record_request_count(self, hint_key: tuple, count: int) -> None:
+        """Count *count* consecutive requests of one hint set (no recycling).
+
+        Behaviourally identical to *count* sequential :meth:`record_request`
+        calls when :meth:`can_defer` approved the batch: the summary's
+        counter gains ``count`` with a fresh tiebreak, and the side stats
+        slot exists afterwards, exactly as the scalar path leaves it.
+        """
+        self._summary.offer_repeat(hint_key, count)
+        if hint_key not in self._side:
+            self._side[hint_key] = HintSetStats()
 
     def snapshot(self) -> Mapping[tuple, HintSetStats]:
         result: dict[tuple, HintSetStats] = {}

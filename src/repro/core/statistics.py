@@ -110,6 +110,34 @@ class HintStatsTracker(abc.ABC):
         """Convenience: hint-set key -> Pr(H) for every tracked hint set."""
         return {key: compute_priority(stats) for key, stats in self.snapshot().items()}
 
+    # ------------------------------------------------------------- batch path
+    # The columnar CLIC kernel defers a whole window segment's tracker
+    # updates and applies them at the segment boundary (see
+    # :meth:`repro.core.priority.PriorityManager.record_segment`).  The
+    # defaults below are the conservative contract any tracker satisfies;
+    # HintTable and SpaceSavingTracker override them with exact fast paths.
+
+    def accepts_rereference(self, hint_key: tuple) -> bool:
+        """Whether :meth:`record_read_rereference` would credit *hint_key*
+        right now.  The batch path uses this to pre-filter deferred credits
+        with segment-start semantics."""
+        return True
+
+    def can_defer(self, hint_keys: Iterable[tuple]) -> bool:
+        """Whether a segment touching exactly *hint_keys* may be applied as
+        per-key counts instead of ordered per-request calls.  Defaults to
+        ``False`` (always replay ordered) so unknown trackers stay exact."""
+        return False
+
+    def record_request_count(self, hint_key: tuple, count: int) -> None:
+        """Count *count* consecutive requests of one hint set.
+
+        Only called when :meth:`can_defer` approved the segment; the default
+        simply loops :meth:`record_request`.
+        """
+        for _ in range(count):
+            self.record_request(hint_key)
+
 
 class HintTable(HintStatsTracker):
     """Exact per-hint-set statistics, one entry per observed hint set."""
@@ -138,6 +166,19 @@ class HintTable(HintStatsTracker):
             self._stats[hint_key] = stats
         stats.read_rereferences += 1
         stats.distance_total += distance
+
+    # The exact table has no eviction, so every batch shortcut is exact:
+    # request counts are plain integer adds and re-reference credits are
+    # always accepted (matching record_read_rereference above).
+    def can_defer(self, hint_keys: Iterable[tuple]) -> bool:
+        return True
+
+    def record_request_count(self, hint_key: tuple, count: int) -> None:
+        stats = self._stats.get(hint_key)
+        if stats is None:
+            stats = HintSetStats()
+            self._stats[hint_key] = stats
+        stats.requests += count
 
     def snapshot(self) -> Mapping[tuple, HintSetStats]:
         return dict(self._stats)

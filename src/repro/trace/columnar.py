@@ -97,6 +97,7 @@ class ColumnarChunk:
         "hint_sets",
         "clients",
         "_requests",
+        "_seq_list",
     )
 
     def __init__(
@@ -117,6 +118,7 @@ class ColumnarChunk:
         self.hint_sets = hint_sets
         self.clients = clients
         self._requests: list[IORequest] | None = None
+        self._seq_list: list[int] | None = None
 
     # ------------------------------------------------------------- properties
     def __len__(self) -> int:
@@ -214,6 +216,17 @@ class ColumnarChunk:
         """Alias of :meth:`requests` (the columnar-side converter)."""
         return self.requests()
 
+    def seq_list(self) -> list[int]:
+        """The seq column as a Python list (memoised).
+
+        The scalar-lifting default ``batch_access`` zips this with
+        :meth:`requests`; memoising it at the chunk means N fallback
+        policies sharing one chunk convert the column once, not N times.
+        """
+        if self._seq_list is None:
+            self._seq_list = self.seq.tolist()
+        return self._seq_list
+
     # ---------------------------------------------------------------- slicing
     def slice(self, start: int, stop: int) -> "ColumnarChunk":
         """Contiguous sub-chunk ``[start:stop)`` (array views, no copies)."""
@@ -228,6 +241,8 @@ class ColumnarChunk:
         )
         if self._requests is not None:
             chunk._requests = self._requests[start:stop]
+        if self._seq_list is not None:
+            chunk._seq_list = self._seq_list[start:stop]
         return chunk
 
     def take(self, indices: Array) -> "ColumnarChunk":

@@ -49,12 +49,24 @@ _SHARDED_VARIANTS = [
     ("SHARDED[ARC,hash]", {"policy": "ARC", "shards": 2, "router": "hash"}),
 ]
 
+#: CLIC variants beyond the default HintTable case: a Space-Saving tracker
+#: small enough that counter recycling forces the kernel's ordered-replay
+#: fallback (top_k=4; the small hint domain easily exceeds 4 keys), a
+#: degenerate k=1 tracker (recycling on nearly every segment), and a short
+#: decayed window so heap rebuilds land mid-chunk.
+_CLIC_VARIANTS = [
+    ("CLIC[topk4]", {"config": CLICConfig(window_size=20, top_k=4, charge_metadata=False)}),
+    ("CLIC[topk1]", {"config": CLICConfig(window_size=13, top_k=1, charge_metadata=False)}),
+    ("CLIC[decay]", {"config": CLICConfig(window_size=7, decay=0.5, charge_metadata=False)}),
+]
+
 
 def _registry_cases() -> list[tuple[str, str, dict]]:
     cases = [
         (name, name, _POLICY_KWARGS.get(name, {})) for name in available_policies()
     ]
     cases.extend((label, "SHARDED", kwargs) for label, kwargs in _SHARDED_VARIANTS)
+    cases.extend((label, "CLIC", kwargs) for label, kwargs in _CLIC_VARIANTS)
     return cases
 
 
@@ -135,6 +147,56 @@ def test_batch_columns_match_scalar_outcomes(stream, sizes):
             assert tuple(int(p) for p in batch.evicted_pages[start:stop]) == (
                 outcome.evicted
             )
+
+
+def test_default_batch_access_materialises_chunk_once(monkeypatch):
+    """The scalar-lifting fallback shares one materialisation per chunk.
+
+    Regression: the default ``batch_access`` used to convert the seq column
+    itself (``chunk.seq.tolist()``), so N fallback policies replaying one
+    chunk paid N conversions.  Both the request list and the seq list are
+    now memoised at the chunk — replaying the same decoded chunk through
+    several fallback policies must construct each request object exactly
+    once, ever.
+    """
+    import repro.trace.columnar as columnar_mod
+    from repro.core.hints import HintSet
+    from repro.simulation.request import IORequest, RequestKind
+
+    stream = [
+        IORequest(
+            page=i % 7,
+            kind=RequestKind.READ if i % 3 else RequestKind.WRITE,
+            hints=HintSet(client_id="a", names=("kind",), values=(i % 2,)),
+        )
+        for i in range(40)
+    ]
+    chunk = ColumnarChunk.from_requests(stream, start_seq=0)
+    # from_requests pre-memoises the objects; null the memos so the chunk
+    # looks freshly array-decoded (the iter_columnar case).
+    chunk._requests = None
+    chunk._seq_list = None
+
+    constructed = 0
+
+    def counting_request(*args, **kwargs):
+        nonlocal constructed
+        constructed += 1
+        return IORequest(*args, **kwargs)
+
+    monkeypatch.setattr(columnar_mod, "IORequest", counting_request)
+
+    for name in ("LFU", "MQ", "TQ"):
+        policy = create_policy(name, capacity=CAPACITY)
+        # These policies must actually run the fallback for the test to mean
+        # anything; if one grows a fused kernel, swap it out here.
+        assert type(policy).batch_access is CachePolicy.batch_access
+        batch = policy.batch_access(chunk)
+        assert len(batch) == len(chunk)
+
+    assert constructed == len(chunk)
+    assert chunk.requests() is chunk.requests()
+    assert chunk.seq_list() is chunk.seq_list()
 
 
 @pytest.mark.slow

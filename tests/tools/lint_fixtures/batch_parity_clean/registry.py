@@ -1,8 +1,8 @@
 """Batch-parity clean fixture registry."""
 
-from batch_parity_clean.policies import RegisteredBatchPolicy
+from batch_parity_clean.policies import HintAwareBatchPolicy, RegisteredBatchPolicy
 
-_REGISTRY = {"BATCH": RegisteredBatchPolicy}
+_REGISTRY = {"BATCH": RegisteredBatchPolicy, "HINTED": HintAwareBatchPolicy}
 
 
 def available_policies():

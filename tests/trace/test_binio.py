@@ -225,3 +225,109 @@ class TestErrors:
         path.write_bytes(body)
         with pytest.raises(TraceFormatError, match="JSON object"):
             StreamedTrace(path)
+
+
+# ------------------------------------------------- columnar decode edge cases
+
+
+def _finish_file(body: bytearray, count: int) -> bytes:
+    """Append a well-formed END record + footer declaring *count* requests."""
+    end_offset = len(body)
+    body += bytes([0x04, count, 2]) + b"{}"
+    body += struct.pack("<Q8s", end_offset, b"CLICEND\x00")
+    return bytes(body)
+
+
+class TestColumnarDecodeEdgeCases:
+    """iter_columnar must agree with iter_chunks on the decoder's corners:
+    empty blocks, single-request blocks, oversized varints, and garbled
+    blocks (same TraceFormatError, same message)."""
+
+    def test_empty_block_decodes_identically(self, tmp_path):
+        # An empty BLOCK (count 0, length 0) is valid; the vectorised decoder
+        # declines it (nothing to vectorise) and the fallback must produce
+        # the same empty chunk the scalar path does.
+        path = tmp_path / "empty.ctb"
+        body = bytearray(b"CLICBT" + bytes([1]))
+        body += bytes([0x03, 0x00, 0x00])
+        path.write_bytes(_finish_file(body, count=0))
+
+        streamed = StreamedTrace(path)
+        scalar_chunks = list(streamed.iter_chunks())
+        columnar_chunks = list(streamed.iter_columnar())
+        assert scalar_chunks == [[]]
+        assert len(columnar_chunks) == 1
+        assert len(columnar_chunks[0]) == 0
+        assert columnar_chunks[0].requests() == []
+
+    def test_single_request_block_decodes_columnar(self, tmp_path):
+        path = tmp_path / "one.ctb"
+        with BinaryTraceWriter(path, name="one") as writer:
+            writer.write(rd(5, hint("db2", object_id=9)))
+        streamed = StreamedTrace(path)
+        (chunk,) = streamed.iter_columnar()
+        # The vectorised decoder handled it (a fallback chunk arrives with
+        # its request list pre-memoised by from_requests).
+        assert chunk._requests is None
+        (scalar_chunk,) = streamed.iter_chunks()
+        assert chunk.requests() == scalar_chunk
+        assert chunk.seq_list() == [0]
+
+    def test_oversized_varint_falls_back_to_scalar(self, tmp_path):
+        # page = 2**60 needs a 9-byte varint: its value still fits an int64,
+        # but the vectorised decoder's 8-byte (56-bit payload) lane limit
+        # cannot prove that, so the block must take the scalar fallback and
+        # decode to identical requests.
+        from repro.trace.binio import _decode_block, _decode_block_columnar, _encode_varint
+
+        big = 2**60
+        record = bytes([0]) + _encode_varint(big) + _encode_varint(0)
+        assert len(_encode_varint(big)) == 9
+        assert _decode_block_columnar(record, 1, 0) is None
+        (request,) = _decode_block(record, 1, {}, 0)
+        assert request.page == big
+
+        path = tmp_path / "big.ctb"
+        with BinaryTraceWriter(path, name="big") as writer:
+            writer.write(rd(big))
+            writer.write(rd(1))
+        streamed = StreamedTrace(path)
+        (chunk,) = streamed.iter_columnar()
+        assert chunk._requests is not None  # fallback path was taken
+        (scalar_chunk,) = streamed.iter_chunks()
+        assert chunk.requests() == scalar_chunk
+        assert chunk.page.tolist() == [big, 1]
+
+    def test_garbled_block_raises_identically_on_both_paths(self, tmp_path):
+        # A BLOCK declaring one request with an empty body is garbled; the
+        # columnar path must surface the exact scalar TraceFormatError.
+        path = tmp_path / "garbled.ctb"
+        body = bytearray(b"CLICBT" + bytes([1]))
+        body += bytes([0x03, 0x01, 0x00])
+        path.write_bytes(_finish_file(body, count=1))
+
+        streamed = StreamedTrace(path)
+        with pytest.raises(TraceFormatError) as scalar_err:
+            list(streamed.iter_chunks())
+        with pytest.raises(TraceFormatError) as columnar_err:
+            list(streamed.iter_columnar())
+        assert str(columnar_err.value) == str(scalar_err.value)
+        assert "declared 1 requests" in str(scalar_err.value)
+
+    def test_truncated_record_raises_identically_on_both_paths(self, tmp_path):
+        # A record cut off inside its page varint: the clear-bit structure
+        # check rejects it columnar-side, and the scalar decoder runs off
+        # the end — both must raise the same error.
+        path = tmp_path / "cut.ctb"
+        body = bytearray(b"CLICBT" + bytes([1]))
+        payload = bytes([0x00, 0x80])  # flags + dangling continuation byte
+        body += bytes([0x03, 0x01, len(payload)]) + payload
+        path.write_bytes(_finish_file(body, count=1))
+
+        streamed = StreamedTrace(path)
+        with pytest.raises(TraceFormatError) as scalar_err:
+            list(streamed.iter_chunks())
+        with pytest.raises(TraceFormatError) as columnar_err:
+            list(streamed.iter_columnar())
+        assert str(columnar_err.value) == str(scalar_err.value)
+        assert "garbled block record" in str(scalar_err.value)

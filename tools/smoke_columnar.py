@@ -7,9 +7,10 @@ path decodes straight into arrays) twice through
 (batch dispatch) — and diffs the full :class:`SimulationResult` JSON of
 every policy.  Two passes:
 
-* **plain pass** — a mixed policy grid: fused batch kernels (LRU, FIFO,
-  CLOCK), fallback kernels (ARC, CLIC), and the offline OPT, stats and
-  per-client accounting only;
+* **plain pass** — a mixed policy grid: the fused batch kernels (LRU,
+  FIFO, CLOCK, and the hint-aware/adaptive ARC, CAR, CLIC), a fallback
+  kernel (LFU), and the offline OPT, stats and per-client accounting
+  only;
 * **observed pass** — SHARDED clusters x hdd cost model x rolling windows
   x open-loop queueing, so every batch-native observer (per-shard stats,
   cost, rolling, queueing) is diffed against its scalar accounting too.
@@ -32,8 +33,8 @@ from repro.simulation.engine import MultiPolicySimulator
 from repro.simulation.queueing import QueueingModel
 from repro.workloads.arrivals import PoissonArrivals
 
-#: The plain pass: batch kernels, fallback kernels, offline OPT.
-PLAIN_POLICIES = ("LRU", "FIFO", "CLOCK", "ARC", "CLIC", "OPT")
+#: The plain pass: every fused batch kernel, one fallback kernel, offline OPT.
+PLAIN_POLICIES = ("LRU", "FIFO", "CLOCK", "ARC", "CAR", "CLIC", "LFU", "OPT")
 
 #: The observed pass: (label, sharded-cluster kwargs).
 SHARDED_VARIANTS = (
